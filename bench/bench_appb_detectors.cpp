@@ -1,0 +1,130 @@
+// Appendix B — drift-detector comparison on the NRMSE stream.
+//
+// The paper: "We also tested ADWIN, DDM, HDDM, EDDM, PageHinkley, but
+// KSWIN was the most effective on our NRMSE series" and "instances of
+// drift are detected when the data exhibits major anomalies around June
+// 2019, December 2019, and April 2021.  The beginning and end of the
+// COVID-19 quarantine period are also effectively detected."
+//
+// This bench runs every detector over the static GBDT DVol/PU NRMSE
+// series and reports each detector's detections against the known event
+// calendar (software upgrades, COVID start/recovery, PU data loss, the
+// 2021 gradual drift onset).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+#include "data/temporal.hpp"
+#include "drift/adwin.hpp"
+#include "drift/ddm.hpp"
+#include "drift/kswin.hpp"
+#include "models/factory.hpp"
+
+using namespace leaf;
+
+namespace {
+
+struct Event {
+  int day;
+  const char* what;
+};
+
+std::vector<Event> known_events() {
+  std::vector<Event> e;
+  for (int d : data::software_upgrade_days()) e.push_back({d, "software upgrade"});
+  e.push_back({cal::covid_start(), "COVID lockdown start"});
+  e.push_back({cal::covid_recovery_end(), "COVID recovery end"});
+  e.push_back({cal::pu_loss_start(), "PU data-loss start"});
+  e.push_back({cal::pu_loss_end(), "PU data-loss end"});
+  e.push_back({cal::gradual_drift_start(), "2021 gradual drift onset"});
+  return e;
+}
+
+/// A detection "matches" an event if it fires within `tol` days after it
+/// (detectors necessarily lag the cause).
+int matched_events(const std::vector<int>& detection_days, int tol = 75) {
+  int matched = 0;
+  for (const Event& ev : known_events()) {
+    for (int d : detection_days) {
+      if (d >= ev.day && d <= ev.day + tol) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return matched;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::from_env();
+  bench::banner("Appendix B",
+                "Drift detectors on the static-model NRMSE stream "
+                "(KSWIN vs ADWIN/DDM/EDDM/HDDM-A/PageHinkley)",
+                scale);
+
+  const data::CellularDataset ds = data::generate_evolving_dataset(scale);
+  const auto model = models::make_model(models::ModelFamily::kGbdt, scale, 7);
+  core::EvalConfig cfg = core::make_eval_config(scale);
+  cfg.stride = 1;
+
+  for (data::TargetKpi target :
+       {data::TargetKpi::kDVol, data::TargetKpi::kPU}) {
+    const data::Featurizer featurizer(ds, target);
+    core::StaticScheme scheme;
+    const core::EvalResult run =
+        core::run_scheme(featurizer, *model, scheme, cfg);
+
+    std::printf("\n--- NRMSE stream: static GBDT on %s (%zu points) ---\n",
+                data::to_string(target).c_str(), run.nrmse.size());
+    std::printf("known events:\n");
+    for (const Event& ev : known_events())
+      std::printf("  %s  %s\n", cal::day_to_string(ev.day).c_str(), ev.what);
+
+    std::vector<std::unique_ptr<drift::DriftDetector>> detectors;
+    drift::KswinConfig kcfg;
+    kcfg.window_size = 60;
+    kcfg.stat_size = 20;
+    detectors.push_back(std::make_unique<drift::Kswin>(kcfg));
+    detectors.push_back(std::make_unique<drift::Adwin>());
+    detectors.push_back(std::make_unique<drift::Ddm>());
+    detectors.push_back(std::make_unique<drift::Eddm>());
+    detectors.push_back(std::make_unique<drift::HddmA>());
+    drift::PageHinkleyConfig pcfg;
+    pcfg.delta = 0.002;
+    pcfg.lambda = 0.5;
+    detectors.push_back(std::make_unique<drift::PageHinkley>(pcfg));
+
+    TextTable t({"Detector", "#Detections", "events matched (of " +
+                                                std::to_string(known_events().size()) +
+                                                ")",
+                 "first detections"});
+    auto w = bench::csv("appb_detectors_" + data::to_string(target) + ".csv");
+    w.row({"detector", "detection_date"});
+
+    for (auto& det : detectors) {
+      std::vector<int> days;
+      for (std::size_t i = 0; i < run.nrmse.size(); ++i)
+        if (det->update(run.nrmse[i])) days.push_back(run.days[i]);
+      std::string first;
+      for (std::size_t i = 0; i < std::min<std::size_t>(3, days.size()); ++i) {
+        if (!first.empty()) first += ", ";
+        first += cal::day_to_string(days[i]);
+      }
+      for (int d : days) w.row({det->name(), cal::day_to_string(d)});
+      t.add_row({det->name(), std::to_string(days.size()),
+                 std::to_string(matched_events(days)), first});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  std::printf("\nexpected: KSWIN detects most known events with a moderate "
+              "detection count; the Bernoulli-stream detectors (DDM/EDDM) "
+              "are less sensitive on this series, matching the paper's "
+              "choice of KSWIN.\n");
+  return 0;
+}

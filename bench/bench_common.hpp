@@ -1,0 +1,56 @@
+// Shared plumbing for the per-table / per-figure bench binaries.
+//
+// Every bench:
+//   * honours LEAF_SCALE (small | medium | full; see common/config.hpp);
+//   * prints the paper's rows/series to stdout (ASCII table or chart);
+//   * additionally dumps the raw series as CSV under $LEAF_BENCH_OUT
+//     (default ./bench_out) for external re-plotting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/calendar.hpp"
+#include "common/config.hpp"
+#include "common/csv.hpp"
+
+namespace leaf::bench {
+
+/// Directory for CSV dumps; created on first use.
+inline std::string out_dir() {
+  const char* env = std::getenv("LEAF_BENCH_OUT");
+  std::string dir = env != nullptr ? env : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Opens a CSV file in the output directory.
+inline CsvWriter csv(const std::string& name) {
+  return CsvWriter(out_dir() + "/" + name);
+}
+
+/// Standard header every bench prints.
+inline void banner(const char* exp_id, const char* what, const Scale& scale) {
+  std::printf("================================================================\n");
+  std::printf("LEAF reproduction — %s\n", exp_id);
+  std::printf("%s\n", what);
+  std::printf("scale=%s (LEAF_SCALE=small|medium|full to resize)\n",
+              scale.name().c_str());
+  std::printf("================================================================\n");
+}
+
+/// Year tick labels for a day-indexed series (for ASCII x-axes).
+inline std::vector<std::string> year_ticks(int first_day, int last_day) {
+  std::vector<std::string> ticks;
+  const int first_year = cal::date_of(first_day).year;
+  const int last_year = cal::date_of(last_day).year;
+  for (int y = first_year; y <= last_year; ++y)
+    ticks.push_back(std::to_string(y));
+  return ticks;
+}
+
+}  // namespace leaf::bench

@@ -1,0 +1,78 @@
+// Extension — literature baselines beyond the paper's main comparison.
+//
+// §7 surveys adaptation methods and cites Paired Learners [6] and the
+// Accuracy Updated Ensemble (AUE2) [11, 12], noting that "few mitigation
+// approaches outperform frequent retraining".  This bench places those
+// two methods, plus the trivial Persistence forecaster, into the paper's
+// ΔNRMSE̅-vs-retrains frame next to Triggered and LEAF so the claim can
+// be inspected directly on the synthetic substrate.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/metrics.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+#include "models/persistence.hpp"
+
+using namespace leaf;
+
+int main() {
+  const Scale scale = Scale::from_env();
+  bench::banner("Extension: literature baselines",
+                "Paired Learners / AUE2 / Persistence vs the paper's "
+                "schemes, Fixed dataset, GBDT, seed-averaged",
+                scale);
+
+  const data::CellularDataset ds = data::generate_fixed_dataset(scale);
+  const std::vector<std::string> specs = {"Naive30", "Triggered", "LEAF",
+                                          "PairedLearners", "AUE2"};
+
+  auto w = bench::csv("ext_baselines.csv");
+  w.row({"kpi", "scheme", "delta_nrmse_pct", "retrains"});
+
+  TextTable t({"KPI", "Naive30", "Triggered", "LEAF", "PairedLearners",
+               "AUE2", "Persistence*"});
+  for (data::TargetKpi target :
+       {data::TargetKpi::kDVol, data::TargetKpi::kPU, data::TargetKpi::kCDR,
+        data::TargetKpi::kGDR}) {
+    const auto outcomes =
+        core::compare_schemes(ds, target, models::ModelFamily::kGbdt, scale,
+                              specs, core::default_seeds());
+
+    // Persistence is a *model* baseline, not a scheme: run it statically
+    // and report its ΔNRMSE̅ against the static GBDT.
+    const data::Featurizer featurizer(ds, target);
+    const models::Persistence persistence(
+        ds.schema().target_column(target));
+    core::StaticScheme static_scheme;
+    const core::EvalConfig cfg = core::make_eval_config(scale);
+    const core::EvalResult pers_run =
+        core::run_scheme(featurizer, persistence, static_scheme, cfg);
+    const auto gbdt_static =
+        core::run_scheme(featurizer,
+                         *models::make_model(models::ModelFamily::kGbdt, scale,
+                                             core::default_seeds()[0]),
+                         static_scheme, cfg);
+
+    std::vector<std::string> row{data::to_string(target)};
+    for (const auto& o : outcomes) {
+      row.push_back(fmt_pct(o.delta_pct) + " (" + fmt_fixed(o.retrains, 0) +
+                    ")");
+      w.row({data::to_string(target), o.scheme, fmt(o.delta_pct),
+             fmt(o.retrains)});
+    }
+    const double pers_delta = core::delta_vs_static(pers_run, gbdt_static);
+    row.push_back(fmt_pct(pers_delta));
+    w.row({data::to_string(target), "Persistence", fmt(pers_delta), "0"});
+    t.add_row(std::move(row));
+    std::printf("  %s done\n", data::to_string(target).c_str());
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\n(*) Persistence = static scaled-last-value model, reported "
+              "vs the static GBDT.\nexpected (paper §7): dedicated "
+              "adaptation methods rarely beat frequent retraining; LEAF's "
+              "advantage is matching it at far fewer retrains while never "
+              "degrading the model.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark): throughput of the building blocks —
+// dataset synthesis, model fit/predict, drift-detector updates, and the
+// explainer's LEA pass.  Not a paper artifact; used to budget the
+// experiment benches and catch performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "common/calendar.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/scheme.hpp"
+#include "data/generator.hpp"
+#include "drift/adwin.hpp"
+#include "drift/ddm.hpp"
+#include "drift/kswin.hpp"
+#include "explain/importance.hpp"
+#include "explain/lea.hpp"
+#include "models/factory.hpp"
+
+using namespace leaf;
+
+namespace {
+
+/// Small synthetic regression problem shared by the model benchmarks.
+struct Problem {
+  Matrix X;
+  std::vector<double> y;
+
+  static const Problem& get() {
+    static const Problem p = [] {
+      Problem out;
+      Rng rng(42);
+      const std::size_t n = 512, k = 64;
+      out.X = Matrix(n, k);
+      out.y.resize(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < k; ++c) out.X(r, c) = rng.normal();
+        out.y[r] = 2.0 * out.X(r, 0) - out.X(r, 3) + 0.1 * rng.normal();
+      }
+      return out;
+    }();
+    return p;
+  }
+};
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  Scale scale = Scale::for_level(Scale::Level::kSmall);
+  scale.fixed_enbs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto ds = data::generate_fixed_dataset(scale);
+    benchmark::DoNotOptimize(ds.total_logs());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          cal::study_length());
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_ModelFit(benchmark::State& state) {
+  const auto& p = Problem::get();
+  const Scale scale = Scale::for_level(Scale::Level::kSmall);
+  const auto family = static_cast<models::ModelFamily>(state.range(0));
+  const auto model = models::make_model(family, scale, 1);
+  for (auto _ : state) {
+    auto m = model->clone_untrained();
+    m->fit(p.X, p.y);
+    benchmark::DoNotOptimize(m->trained());
+  }
+  state.SetLabel(models::to_string(family));
+}
+BENCHMARK(BM_ModelFit)
+    ->Arg(static_cast<int>(models::ModelFamily::kGbdt))
+    ->Arg(static_cast<int>(models::ModelFamily::kRandomForest))
+    ->Arg(static_cast<int>(models::ModelFamily::kExtraTrees))
+    ->Arg(static_cast<int>(models::ModelFamily::kKnn))
+    ->Arg(static_cast<int>(models::ModelFamily::kRidge))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModelPredict(benchmark::State& state) {
+  const auto& p = Problem::get();
+  const Scale scale = Scale::for_level(Scale::Level::kSmall);
+  const auto family = static_cast<models::ModelFamily>(state.range(0));
+  const auto model = models::make_model(family, scale, 1);
+  model->fit(p.X, p.y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict_one(p.X.row(0)));
+  }
+  state.SetLabel(models::to_string(family));
+}
+BENCHMARK(BM_ModelPredict)
+    ->Arg(static_cast<int>(models::ModelFamily::kGbdt))
+    ->Arg(static_cast<int>(models::ModelFamily::kKnn))
+    ->Arg(static_cast<int>(models::ModelFamily::kLstm))
+    ->Arg(static_cast<int>(models::ModelFamily::kRidge));
+
+template <typename Detector>
+void BM_DetectorUpdate(benchmark::State& state) {
+  Detector det;
+  Rng rng(7);
+  std::vector<double> stream(4096);
+  for (auto& v : stream) v = 0.05 + 0.01 * rng.normal();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.update(stream[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorUpdate<drift::Kswin>);
+BENCHMARK(BM_DetectorUpdate<drift::Adwin>);
+BENCHMARK(BM_DetectorUpdate<drift::Ddm>);
+BENCHMARK(BM_DetectorUpdate<drift::HddmA>);
+BENCHMARK(BM_DetectorUpdate<drift::PageHinkley>);
+
+void BM_KsTest(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> a(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> b(a.size());
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal(0.3, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_p_value(a, b));
+  }
+}
+BENCHMARK(BM_KsTest)->Arg(30)->Arg(100)->Arg(1000);
+
+void BM_LeaCompute(benchmark::State& state) {
+  const auto& p = Problem::get();
+  const Scale scale = Scale::for_level(Scale::Level::kSmall);
+  const auto model = models::make_model(models::ModelFamily::kGbdt, scale, 1);
+  model->fit(p.X, p.y);
+  const std::vector<double> pred = model->predict(p.X);
+  const std::vector<double> fv = p.X.col(0);
+  const std::vector<double> edges = explain::lea_bin_edges(fv, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        explain::compute_lea(pred, p.y, fv, 0, 1.0, edges));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.y.size()));
+}
+BENCHMARK(BM_LeaCompute);
+
+void BM_PermutationImportance(benchmark::State& state) {
+  const auto& p = Problem::get();
+  const Scale scale = Scale::for_level(Scale::Level::kSmall);
+  const auto model = models::make_model(models::ModelFamily::kGbdt, scale, 1);
+  model->fit(p.X, p.y);
+  Rng rng(9);
+  explain::ImportanceConfig cfg;
+  cfg.repeats = 1;
+  cfg.max_rows = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        explain::permutation_importance(*model, p.X, p.y, 1.0, rng, cfg));
+  }
+}
+BENCHMARK(BM_PermutationImportance)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table 3 — "Changes of average NRMSE and number of retrains, over time,
+// for different periodic retraining strategies."
+//
+// Evolving dataset, GBDT (CatBoost stand-in), 14-day training windows,
+// 180-day horizon.  A model retrained every N days is compared with the
+// static baseline via ΔNRMSE̅ (Eq. 1).  The paper's findings to check:
+//   * for low-dispersion KPIs (DVol, DTP, REst) more frequent retraining
+//     is monotonically better;
+//   * for bursty KPIs (CDR at 7 days, GDR at mid frequencies) naive
+//     retraining can *increase* error;
+//   * retrain counts scale as (study days after first forecast) / N
+//     (169 / 39 / 13 / 6 / 3 at daily evaluation).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+
+using namespace leaf;
+
+int main() {
+  const Scale scale = Scale::from_env();
+  bench::banner("Table 3",
+                "Periodic (naive) retraining vs static, Evolving dataset, "
+                "GBDT, seed-averaged",
+                scale);
+
+  const data::CellularDataset ds = data::generate_evolving_dataset(scale);
+  const std::vector<std::string> specs = {"Naive7", "Naive30", "Naive90",
+                                          "Naive180", "Naive365"};
+
+  TextTable t({"Retraining", "DVol", "PU", "DTP", "REst", "CDR", "GDR",
+               "#Retrains"});
+  t.add_row({"Static", "-", "-", "-", "-", "-", "-", "0"});
+
+  auto w = bench::csv("table3_periodic.csv");
+  w.row({"scheme", "kpi", "delta_nrmse_pct", "retrains", "avg_nrmse",
+         "static_nrmse"});
+
+  // outcome[kpi][spec]
+  std::vector<std::vector<core::SchemeOutcome>> all;
+  for (data::TargetKpi target : data::kAllTargets) {
+    all.push_back(core::compare_schemes(ds, target, models::ModelFamily::kGbdt,
+                                        scale, specs, core::default_seeds()));
+    for (const auto& o : all.back()) {
+      w.row({o.scheme, data::to_string(target), fmt(o.delta_pct),
+             fmt(o.retrains), fmt(o.avg_nrmse), fmt(o.static_nrmse)});
+    }
+    std::printf("  %s done\n", data::to_string(target).c_str());
+  }
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    std::vector<std::string> row{specs[s] + " days"};
+    for (std::size_t k = 0; k < all.size(); ++k)
+      row.push_back(fmt_pct(all[k][s].delta_pct));
+    row.push_back(fmt_fixed(all.front()[s].retrains, 0));
+    t.add_row(std::move(row));
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::printf("\npaper Table 3 (Evolving, CatBoost):\n"
+              "  7d:   -40.34 -55.36 -27.21 -48.00 +47.79  -0.38  (169)\n"
+              "  30d:  -30.66 -43.73 -21.40 -40.12  -0.75  +2.75  (39)\n"
+              "  90d:  -16.83 -16.12 -19.07 -27.33  +7.89 +42.24  (13)\n"
+              "  180d: -12.22  -0.34 -14.85 -18.82  -4.20 +76.28  (6)\n"
+              "  365d:  -2.27  -5.13 -10.65 -11.53  +5.97  +6.07  (3)\n"
+              "expected shape: frequency helps DVol/DTP/REst monotonically; "
+              "CDR/GDR rows contain positive (worse-than-static) entries.\n");
+  return 0;
+}

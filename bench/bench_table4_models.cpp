@@ -1,0 +1,78 @@
+// Tables 4 and 8 — "Effectiveness of mitigation schemes ... using Fixed
+// Dataset.  We include models from different model families over a
+// variety of KPIs."
+//
+// Four model families (boosting / bagging / recurrent / distance-based) x
+// six KPIs x four schemes (Naive30, Naive90, Triggered, LEAF).  Paper
+// findings to check:
+//   * LEAF is the best or near-best scheme for GBDT and ExtraTrees on
+//     every KPI, and its ΔNRMSE̅ is always negative (never hurts);
+//   * naive/triggered can *increase* error on CDR/GDR;
+//   * LEAF helps LSTM by large margins on bursty KPIs;
+//   * KNeighbors is the exception — lazy memorization responds poorly to
+//     targeted over-sampling (§6.2).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+
+using namespace leaf;
+
+int main() {
+  const Scale scale = Scale::from_env();
+  bench::banner("Tables 4 & 8",
+                "Mitigation schemes across model families, Fixed dataset, "
+                "seed-averaged",
+                scale);
+
+  const data::CellularDataset ds = data::generate_fixed_dataset(scale);
+  const std::vector<std::string> specs = {"Naive30", "Naive90", "Triggered",
+                                          "LEAF"};
+
+  auto w = bench::csv("table4_models.csv");
+  w.row({"model", "kpi", "scheme", "delta_nrmse_pct", "retrains"});
+
+  TextTable t({"Model", "KPI", "Naive30", "Naive90", "Triggered", "LEAF",
+               "best"});
+
+  for (models::ModelFamily family : models::table4_families()) {
+    // The LSTM is by far the most expensive family; a single seed keeps
+    // the bench affordable (the tree families average over two).
+    const std::uint64_t seeds2[] = {11, 22};
+    const std::uint64_t seeds1[] = {11};
+    const std::span<const std::uint64_t> seeds =
+        family == models::ModelFamily::kLstm ? std::span<const std::uint64_t>(seeds1)
+                                             : std::span<const std::uint64_t>(seeds2);
+
+    for (data::TargetKpi target : data::kAllTargets) {
+      const auto outcomes =
+          core::compare_schemes(ds, target, family, scale, specs, seeds);
+      std::vector<std::string> row{models::paper_name(family),
+                                   data::to_string(target)};
+      const core::SchemeOutcome* best = &outcomes.front();
+      for (const auto& o : outcomes) {
+        row.push_back(fmt_pct(o.delta_pct) + " (" +
+                      fmt_fixed(o.retrains, 0) + ")");
+        w.row({models::to_string(family), data::to_string(target), o.scheme,
+               fmt(o.delta_pct), fmt(o.retrains)});
+        if (o.delta_pct < best->delta_pct) best = &o;
+      }
+      row.push_back(best->scheme);
+      t.add_row(std::move(row));
+      std::printf("  %s / %s done\n", models::to_string(family).c_str(),
+                  data::to_string(target).c_str());
+    }
+    t.add_rule();
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\npaper Table 4 headline rows (CatBoost):\n"
+      "  DVol: -29.62(39) -19.83(13) -31.80(27) -32.67(28) -> LEAF best\n"
+      "  GDR:  +3.37(39)  -4.20(13) +44.56(17)  -6.24(19) -> LEAF best\n"
+      "expected: LEAF best/near-best for boosting+bagging, always negative; "
+      "baselines go positive on CDR/GDR; KNN is LEAF's weak spot.\n");
+  return 0;
+}

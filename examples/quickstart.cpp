@@ -1,0 +1,68 @@
+// Quickstart: the whole LEAF pipeline in ~80 lines.
+//
+// Generates the synthetic Fixed dataset, trains a gradient-boosting model
+// to forecast downlink volume 180 days ahead, walks forward through four
+// years of data while KSWIN watches the NRMSE stream, and compares a
+// never-retrained Static model against LEAF's explain-and-resample
+// mitigation.
+//
+// Run:   ./quickstart            (LEAF_SCALE=small|medium|full to resize)
+#include <cstdio>
+
+#include "common/calendar.hpp"
+#include "common/config.hpp"
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+#include "models/factory.hpp"
+
+using namespace leaf;
+
+int main() {
+  const Scale scale = Scale::from_env();
+  std::printf("LEAF quickstart (scale=%s)\n", scale.name().c_str());
+
+  // 1. Data: synthetic stand-in for the paper's Fixed dataset (412
+  //    eNodeBs x 4.3 years x 224 KPIs at full scale).
+  const data::CellularDataset ds = data::generate_fixed_dataset(scale);
+  std::printf("dataset: %s, %d eNodeBs, %d days, %d KPIs, %lld logs\n",
+              ds.name().c_str(), static_cast<int>(ds.profiles().size()),
+              ds.num_days(), ds.num_kpis(),
+              static_cast<long long>(ds.total_logs()));
+
+  // 2. Task: forecast downlink volume 180 days ahead from today's full
+  //    KPI log (one model for every eNodeB).
+  const data::Featurizer featurizer(ds, data::TargetKpi::kDVol);
+  const core::EvalConfig cfg = core::make_eval_config(scale);
+
+  // 3. Model: the CatBoost stand-in (gradient-boosted trees).
+  const auto model =
+      models::make_model(models::ModelFamily::kGbdt, scale, /*seed=*/1);
+
+  // 4. Baseline: train once on the 14 days before July 1, 2018 and never
+  //    retrain.
+  core::StaticScheme static_scheme;
+  const core::EvalResult static_run =
+      core::run_scheme(featurizer, *model, static_scheme, cfg);
+  std::printf("\nStatic model:   avg NRMSE %.4f over %zu days, "
+              "drift flagged %d times\n",
+              static_run.avg_nrmse(), static_run.days.size(),
+              static_cast<int>(static_run.drift_days.size()));
+  for (int d : static_run.drift_days)
+    std::printf("  drift detected at %s\n", cal::day_to_string(d).c_str());
+
+  // 5. LEAF: on each detection, explain the drift (permutation importance
+  //    -> correlated feature groups -> local error approximation) and
+  //    rebuild the training set by informed forgetting + over-sampling.
+  const double dispersion = core::kpi_dispersion(ds, data::TargetKpi::kDVol);
+  const auto leaf_scheme = core::make_scheme("LEAF", dispersion);
+  const core::EvalResult leaf_run =
+      core::run_scheme(featurizer, *model, *leaf_scheme, cfg);
+
+  std::printf("\nLEAF:           avg NRMSE %.4f, %d retrains\n",
+              leaf_run.avg_nrmse(), leaf_run.retrain_count());
+  std::printf("ΔNRMSE̅ vs static: %+.2f%%  (negative = mitigated)\n",
+              core::delta_vs_static(leaf_run, static_run));
+  std::printf("95th-pct |NE|:  static %.3f -> LEAF %.3f\n", static_run.ne_p95,
+              leaf_run.ne_p95);
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "common/calendar.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+
+namespace leaf::cal {
+
+std::int64_t days_from_civil(const Date& d) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  const int y = d.year - (d.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(d.month + (d.month > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d.day) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+Date civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : -9);
+  return Date{static_cast<int>(y + (month <= 2 ? 1 : 0)),
+              static_cast<int>(month), static_cast<int>(day)};
+}
+
+int day_index(const Date& d) {
+  return static_cast<int>(days_from_civil(d) - days_from_civil(kStudyStart));
+}
+
+Date date_of(int idx) {
+  return civil_from_days(days_from_civil(kStudyStart) + idx);
+}
+
+int study_length() { return day_index(kStudyEnd) + 1; }
+
+int day_of_week(int idx) {
+  // 2018-01-01 was a Monday, so the study index is already phase-aligned.
+  const std::int64_t z = days_from_civil(date_of(idx));
+  // days_from_civil(1970-01-01) == 0, a Thursday (weekday 3 if Monday=0).
+  return static_cast<int>(((z % 7) + 7 + 3) % 7);
+}
+
+int day_of_year(int idx) {
+  const Date d = date_of(idx);
+  return static_cast<int>(days_from_civil(d) -
+                          days_from_civil(Date{d.year, 1, 1}));
+}
+
+std::string to_string(const Date& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string day_to_string(int idx) { return to_string(date_of(idx)); }
+
+int anchor_2018_07_01() { return day_index(Date{2018, 7, 1}); }
+int covid_start() { return day_index(Date{2020, 3, 15}); }
+int covid_recovery_end() { return day_index(Date{2020, 10, 25}); }
+int gradual_drift_start() { return day_index(Date{2021, 3, 1}); }
+int gradual_drift_peak() { return day_index(Date{2022, 1, 15}); }
+int pu_loss_start() { return day_index(Date{2019, 7, 1}); }
+int pu_loss_end() { return day_index(Date{2020, 1, 15}); }
+int early_2022() { return day_index(Date{2022, 1, 1}); }
+
+}  // namespace leaf::cal

@@ -1,0 +1,76 @@
+// Calendar arithmetic for the study period.
+//
+// The paper's datasets span January 1, 2018 (day index 0) through
+// March 28, 2022 (day index 1547) — 1548 daily observations.  All of the
+// temporal machinery in this repository (weekly periodicity, the COVID-19
+// shock window, the PU data-loss window, train/test anchors) is expressed
+// in these day indices; this header provides the conversions and the named
+// epochs so magic numbers never leak into experiment code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace leaf::cal {
+
+/// A civil (proleptic Gregorian) calendar date.
+struct Date {
+  int year = 2018;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  friend bool operator==(const Date&, const Date&) = default;
+};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+std::int64_t days_from_civil(const Date& d);
+
+/// Civil date for days since 1970-01-01.
+Date civil_from_days(std::int64_t z);
+
+/// First day of the datasets: 2018-01-01 (a Monday).
+inline constexpr Date kStudyStart{2018, 1, 1};
+/// Last day of the datasets: 2022-03-28.
+inline constexpr Date kStudyEnd{2022, 3, 28};
+
+/// Day index within the study (0 = 2018-01-01).
+int day_index(const Date& d);
+
+/// Inverse of day_index.
+Date date_of(int day_index);
+
+/// Total number of daily observations in the study period (1548).
+int study_length();
+
+/// Day of week, 0 = Monday ... 6 = Sunday.
+int day_of_week(int day_index);
+
+/// Day of year in [0, 364] (365 on leap-year Dec 31); used by the
+/// seasonal component of the KPI generator.
+int day_of_year(int day_index);
+
+/// "YYYY-MM-DD" rendering.
+std::string to_string(const Date& d);
+/// Rendering straight from a day index.
+std::string day_to_string(int day_index);
+
+// --- Named epochs used throughout the paper's narrative -------------------
+
+/// Anchor for the static models: training windows end July 1, 2018.
+int anchor_2018_07_01();
+/// COVID-19 lockdown onset (the paper dates the sudden DVol drift to
+/// mid-March / April 2020; we place the mobility shock at 2020-03-15).
+int covid_start();
+/// Approximate end of the acute lockdown demand shift (late October 2020).
+int covid_recovery_end();
+/// Start of the gradual demand drift the paper sees from March 2021,
+/// peaking around January 2022.
+int gradual_drift_start();
+int gradual_drift_peak();
+/// Peak-active-UE data-loss window: July 2019 .. January 2020.
+int pu_loss_start();
+int pu_loss_end();
+/// Winter break before the "early 2022" drift instance in the case study.
+int early_2022();
+
+}  // namespace leaf::cal

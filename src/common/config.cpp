@@ -1,0 +1,62 @@
+#include "common/config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace leaf {
+
+std::string Scale::name() const {
+  switch (level) {
+    case Level::kSmall: return "small";
+    case Level::kMedium: return "medium";
+    case Level::kFull: return "full";
+  }
+  return "?";
+}
+
+Scale Scale::for_level(Level level) {
+  Scale s;
+  s.level = level;
+  switch (level) {
+    case Level::kSmall:
+      // Defaults in the struct definition.
+      break;
+    case Level::kMedium:
+      s.fixed_enbs = 96;
+      s.evolving_enbs_max = 192;
+      s.num_kpis = 128;
+      s.gbdt_trees = 80;
+      s.forest_trees = 60;
+      s.lstm_epochs = 50;
+      s.lstm_hidden = 24;
+      s.eval_stride_days = 1;
+      break;
+    case Level::kFull:
+      s.fixed_enbs = 412;
+      s.evolving_enbs_max = 898;
+      s.num_kpis = 224;
+      s.gbdt_trees = 150;
+      s.forest_trees = 100;
+      s.lstm_epochs = 80;
+      s.lstm_hidden = 32;
+      s.eval_stride_days = 1;
+      break;
+  }
+  return s;
+}
+
+Scale Scale::from_env() {
+  const char* env = std::getenv("LEAF_SCALE");
+  if (env == nullptr || std::strcmp(env, "small") == 0)
+    return for_level(Level::kSmall);
+  if (std::strcmp(env, "medium") == 0) return for_level(Level::kMedium);
+  if (std::strcmp(env, "full") == 0) return for_level(Level::kFull);
+  std::fprintf(stderr,
+               "[leaf] unknown LEAF_SCALE='%s' (expected small|medium|full); "
+               "using small\n",
+               env);
+  return for_level(Level::kSmall);
+}
+
+}  // namespace leaf

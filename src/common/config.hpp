@@ -1,0 +1,52 @@
+// Experiment scale configuration.
+//
+// The paper's experiments run on 412–898 eNodeBs x 1548 days x 224 KPIs
+// with dozens of model retrains per mitigation scheme.  Reproducing that
+// takes hours on a laptop-class single core, so every bench honours the
+// LEAF_SCALE environment variable:
+//
+//   LEAF_SCALE=small   (default) — shrunk eNodeB / KPI / tree counts that
+//                      preserve every qualitative mechanism (drift shapes,
+//                      scheme ordering) while finishing in seconds.
+//   LEAF_SCALE=medium  — intermediate sizes for closer quantitative match.
+//   LEAF_SCALE=full    — paper-scale parameters (412/898 eNBs, 224 KPIs).
+//
+// All counts that differ between scales live here so individual benches
+// contain no magic numbers.
+#pragma once
+
+#include <string>
+
+namespace leaf {
+
+struct Scale {
+  enum class Level { kSmall, kMedium, kFull };
+
+  Level level = Level::kSmall;
+
+  // --- dataset ------------------------------------------------------------
+  int fixed_enbs = 24;         ///< paper: 412 common eNodeBs
+  int evolving_enbs_max = 48;  ///< paper: 898 eNodeBs at the end of study
+  int num_kpis = 64;           ///< paper: 224 KPIs per log
+
+  // --- models ---------------------------------------------------------
+  int gbdt_trees = 40;        ///< boosting rounds for the CatBoost stand-in
+  int forest_trees = 30;      ///< trees for RandomForest / ExtraTrees
+  int lstm_epochs = 30;       ///< LSTM training epochs
+  int lstm_hidden = 16;       ///< LSTM hidden units
+
+  // --- evaluation -----------------------------------------------------
+  int eval_stride_days = 2;   ///< evaluate the error series every k days
+
+  /// Human-readable name ("small" / "medium" / "full").
+  std::string name() const;
+
+  /// Scale for a named level.
+  static Scale for_level(Level level);
+
+  /// Reads LEAF_SCALE from the environment (default small).  Unknown
+  /// values fall back to small with a warning on stderr.
+  static Scale from_env();
+};
+
+}  // namespace leaf

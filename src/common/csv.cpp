@@ -1,0 +1,70 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace leaf {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::write_field(std::string_view f, bool first) {
+  if (!first) out_ << ',';
+  const bool needs_quote =
+      f.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) {
+    out_ << f;
+    return;
+  }
+  out_ << '"';
+  for (char c : f) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (auto f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::numeric_row(std::string_view label,
+                            const std::vector<double>& values) {
+  write_field(label, true);
+  for (double v : values) {
+    out_ << ',' << fmt(v);
+  }
+  out_ << '\n';
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_pct(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f%%", value);
+  return buf;
+}
+
+}  // namespace leaf

@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+namespace leaf {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == '%' || c == 'e' || c == 'E' || c == '(' ||
+          c == ')' || c == ' '))
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : cols_(header.size()), header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == cols_);
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(cols_, 0);
+  for (std::size_t c = 0; c < cols_; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < cols_; ++c)
+      out << std::string(width[c] + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (looks_numeric(cell)) {
+        out << ' ' << std::string(pad, ' ') << cell << " |";
+      } else {
+        out << ' ' << cell << std::string(pad, ' ') << " |";
+      }
+    }
+    out << '\n';
+  };
+
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      emit(row);
+    }
+  }
+  rule();
+  return out.str();
+}
+
+}  // namespace leaf

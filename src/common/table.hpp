@@ -1,0 +1,32 @@
+// Aligned plain-text table printer for bench output.
+//
+// Every bench binary reproduces one of the paper's tables; this helper
+// renders rows with the same column structure the paper uses so output can
+// be compared side by side with the publication.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace leaf {
+
+class TextTable {
+ public:
+  /// Sets the header row (also fixes the column count).
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with column alignment; numeric-looking cells right-align.
+  std::string render() const;
+
+ private:
+  std::size_t cols_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+}  // namespace leaf

@@ -1,0 +1,105 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/calendar.hpp"
+#include "common/metrics.hpp"
+#include "common/stats.hpp"
+
+namespace leaf::core {
+
+double EvalResult::avg_nrmse() const { return stats::mean(nrmse); }
+
+EvalResult run_scheme(const data::Featurizer& featurizer,
+                      const models::Regressor& prototype,
+                      MitigationScheme& scheme, const EvalConfig& cfg,
+                      const StepObserver& observer,
+                      const PredictionSink& sink) {
+  EvalResult result;
+  result.scheme = scheme.name();
+  result.model = prototype.name();
+
+  const int anchor =
+      cfg.anchor_day >= 0 ? cfg.anchor_day : cal::anchor_2018_07_01();
+  const double norm_range = featurizer.norm_range();
+  const int num_days = featurizer.dataset().num_days();
+
+  // Initial model: trained on the `train_window` days ending at the
+  // anchor.
+  data::SupervisedSet train =
+      featurizer.window(anchor - cfg.train_window + 1, anchor);
+  assert(!train.empty() && "anchor window produced no training pairs");
+  std::unique_ptr<models::Regressor> model = prototype.clone_untrained();
+  model->fit(train.X, train.y);
+
+  scheme.reset();
+  drift::Kswin detector(cfg.detector);
+  Rng rng(cfg.seed);
+
+  // First forecastable day: the anchor's forecasts land at
+  // anchor + horizon; evaluation starts there.
+  const int first_eval = anchor + cfg.horizon;
+  std::vector<double> abs_ne_samples;
+
+  for (int day = first_eval; day < num_days; day += cfg.stride) {
+    const data::SupervisedSet test = featurizer.at_target_day(day);
+    if (static_cast<int>(test.size()) < cfg.min_samples_per_day) continue;
+
+    const std::vector<double> pred = model->predict(test.X);
+    const double err = metrics::nrmse(pred, test.y, norm_range);
+    if (sink) sink(day, test, pred);
+
+    double ne_acc = 0.0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const double ne = metrics::normalized_error(pred[i], test.y[i], norm_range);
+      ne_acc += ne;
+      abs_ne_samples.push_back(std::abs(ne));
+    }
+
+    result.days.push_back(day);
+    result.nrmse.push_back(err);
+    result.mean_ne.push_back(ne_acc / static_cast<double>(test.size()));
+
+    const bool drift = detector.update(err);
+    if (drift) result.drift_days.push_back(day);
+
+    SchemeContext ctx{.featurizer = featurizer,
+                      .model = *model,
+                      .current_train = train,
+                      .eval_day = day,
+                      .nrmse = err,
+                      .drift = drift,
+                      .train_window = cfg.train_window,
+                      .rng = &rng,
+                      .prototype = &prototype};
+    std::optional<data::SupervisedSet> new_train = scheme.on_step(ctx);
+    bool retrained = false;
+    if (std::unique_ptr<models::Regressor> replacement =
+            scheme.take_replacement_model()) {
+      // Ensemble-style scheme: install the model it built directly.
+      model = std::move(replacement);
+      result.retrain_days.push_back(day);
+      retrained = true;
+    } else if (new_train.has_value() && !new_train->empty()) {
+      train = std::move(*new_train);
+      model = prototype.clone_untrained();
+      model->fit(train.X, train.y);
+      result.retrain_days.push_back(day);
+      retrained = true;
+    }
+    if (observer) observer(day, err, drift, retrained);
+  }
+
+  result.ne_p95 =
+      abs_ne_samples.empty() ? 0.0 : stats::quantile(abs_ne_samples, 0.95);
+  return result;
+}
+
+double delta_vs_static(const EvalResult& mitigated,
+                       const EvalResult& static_run) {
+  return metrics::delta_nrmse_pct(mitigated.nrmse, static_run.nrmse);
+}
+
+}  // namespace leaf::core

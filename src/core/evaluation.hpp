@@ -1,0 +1,83 @@
+// Walk-forward evaluation engine.
+//
+// Reproduces the paper's measurement loop: train a model on a fixed-size
+// window of history ending at the anchor date (July 1, 2018 by default),
+// then advance day by day through the study, evaluating the model's NRMSE
+// on each date's test slice (all eNodeBs whose 180-day-ahead target falls
+// on that date), feeding the NRMSE stream to the drift detector, and
+// letting the active mitigation scheme retrain when its policy says so.
+//
+// The engine produces the per-day NRMSE series behind Figures 1/2/9, the
+// retrain counts of Tables 3/4/5, and — via metrics::delta_nrmse_pct
+// against the Static run — the ΔNRMSE̅ values in every evaluation table.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "data/features.hpp"
+#include "drift/kswin.hpp"
+#include "models/regressor.hpp"
+
+namespace leaf::core {
+
+struct EvalConfig {
+  /// Training window length in days (the paper settles on 14; Fig. 2a).
+  int train_window = 14;
+  /// Last day of the initial training window; -1 = July 1, 2018.
+  int anchor_day = -1;
+  /// Forecast horizon in days (§2.2).
+  int horizon = 180;
+  /// Evaluate every `stride` days (1 = daily, as in the paper; >1 shrinks
+  /// runtime at small scale without changing any qualitative result).
+  int stride = 1;
+  /// Detector configuration (KSWIN on the NRMSE stream, Appendix B).
+  drift::KswinConfig detector;
+  /// Skip evaluation days with fewer pairs than this (degenerate NRMSE).
+  int min_samples_per_day = 3;
+  std::uint64_t seed = 2024;
+};
+
+struct EvalResult {
+  std::string scheme;
+  std::string model;
+  std::vector<int> days;          ///< evaluated target days
+  std::vector<double> nrmse;      ///< NRMSE per evaluated day
+  std::vector<double> mean_ne;    ///< mean signed NE per evaluated day
+  std::vector<int> retrain_days;  ///< days on which a retrain happened
+  std::vector<int> drift_days;    ///< days on which the detector fired
+
+  int retrain_count() const { return static_cast<int>(retrain_days.size()); }
+  double avg_nrmse() const;
+  /// 95th percentile of |NE| across all evaluated samples (Table 7 tracks
+  /// the 95th percentile of normalized error).
+  double ne_p95 = 0.0;
+};
+
+/// Optional per-step observer (used by benches that dump time-series).
+using StepObserver = std::function<void(int day, double nrmse, bool drift,
+                                        bool retrained)>;
+
+/// Optional per-step prediction sink: receives the day's test slice and
+/// the in-use model's predictions for it (used by the LEAgram bench,
+/// which needs per-sample signed errors from the *evolving* model chain).
+using PredictionSink = std::function<void(
+    int day, const data::SupervisedSet& test, std::span<const double> pred)>;
+
+/// Runs one (model, scheme) pair over the dataset behind `featurizer`.
+/// The model passed in is used as a prototype: the engine trains a fresh
+/// clone for the initial fit and for every retrain.
+EvalResult run_scheme(const data::Featurizer& featurizer,
+                      const models::Regressor& prototype,
+                      MitigationScheme& scheme, const EvalConfig& cfg,
+                      const StepObserver& observer = {},
+                      const PredictionSink& sink = {});
+
+/// ΔNRMSE̅ of `mitigated` against `static_run` in percent (Eq. 1).
+double delta_vs_static(const EvalResult& mitigated,
+                       const EvalResult& static_run);
+
+}  // namespace leaf::core

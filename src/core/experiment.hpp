@@ -1,0 +1,68 @@
+// Shared experiment plumbing for the benches, examples, and integration
+// tests: standard evaluation configs per scale, KPI dispersion lookup, and
+// a scheme factory keyed by the names used in the paper's tables.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/evaluation.hpp"
+#include "core/leaf_scheme.hpp"
+#include "core/scheme.hpp"
+#include "data/dataset.hpp"
+#include "models/factory.hpp"
+
+namespace leaf::core {
+
+/// Std/Mean of a target KPI over all logs of the dataset — the
+/// "dispersion" (coefficient of variation) that drives LEAF's choice of
+/// mitigation aggressiveness (§4.3, Table 2).
+double kpi_dispersion(const data::CellularDataset& ds, data::TargetKpi t);
+
+/// Standard evaluation configuration for a scale: the paper's 14-day
+/// training window anchored at July 1 2018, 180-day horizon, KSWIN
+/// detector, and the scale's evaluation stride.
+EvalConfig make_eval_config(const Scale& scale, std::uint64_t seed = 2024);
+
+/// Builds a mitigation scheme by table name:
+///   "Static", "Naive<N>" (e.g. "Naive30"), "Triggered",
+///   "LEAF" (1 group), "LEAF3", "LEAF5" (multi-group).
+/// `dispersion` is only used by the LEAF variants.
+std::unique_ptr<MitigationScheme> make_scheme(const std::string& spec,
+                                              double dispersion,
+                                              std::uint64_t seed = 99);
+
+/// Seed-averaged outcome of one mitigation scheme on one (dataset, KPI,
+/// model family) combination.
+///
+/// The paper reports single numbers from one 4.3-year run of a 412-site
+/// network; at reduced scale a single run's ΔNRMSE̅ is noticeably
+/// sensitive to drift-detection timing, so the benches average each cell
+/// over a few seeds (model init, detector sampling, resampling draws) to
+/// recover the signal.  See DESIGN.md.
+struct SchemeOutcome {
+  std::string scheme;
+  double avg_nrmse = 0.0;    ///< mean over seeds of the run's average NRMSE
+  double delta_pct = 0.0;    ///< mean ΔNRMSE̅ vs the same-seed Static run
+  double retrains = 0.0;     ///< mean retrain count
+  double ne_p95 = 0.0;       ///< mean 95th-pct |NE|
+  double static_nrmse = 0.0; ///< mean Static avg NRMSE (the baseline)
+  double static_ne_p95 = 0.0;
+};
+
+/// Runs Static plus every scheme in `specs` for each seed and averages.
+/// A fresh model prototype is built per seed (so model init varies with
+/// the seed too).  Standard seeds are default_seeds(); pass fewer for
+/// expensive models.
+std::vector<SchemeOutcome> compare_schemes(
+    const data::CellularDataset& ds, data::TargetKpi target,
+    models::ModelFamily family, const Scale& scale,
+    std::span<const std::string> specs, std::span<const std::uint64_t> seeds);
+
+/// The standard bench seeds.
+std::span<const std::uint64_t> default_seeds();
+
+}  // namespace leaf::core

@@ -1,0 +1,221 @@
+#include "core/leaf_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.hpp"
+#include "explain/importance.hpp"
+#include "explain/lea.hpp"
+
+namespace leaf::core {
+
+LeafScheme::LeafScheme(LeafConfig cfg, double target_dispersion)
+    : cfg_(cfg), dispersion_(target_dispersion), rng_(cfg.seed) {}
+
+void LeafScheme::reset() {
+  rng_ = Rng(cfg_.seed);
+  last_groups_.clear();
+}
+
+std::string LeafScheme::name() const {
+  return cfg_.num_groups == 1 ? "LEAF"
+                              : "LEAF(" + std::to_string(cfg_.num_groups) + ")";
+}
+
+std::optional<data::SupervisedSet> LeafScheme::on_step(
+    const SchemeContext& ctx) {
+  if (!ctx.drift) return std::nullopt;
+
+  const data::SupervisedSet latest =
+      latest_labeled_window(ctx.featurizer, ctx.eval_day, ctx.train_window);
+  if (latest.empty() || ctx.current_train.empty()) return std::nullopt;
+
+  // --- Explain: rank features by sensitivity on the drifting samples,
+  // then group correlated features and keep the top representatives.
+  explain::ImportanceConfig imp_cfg;
+  imp_cfg.max_rows = cfg_.importance_max_rows;
+  imp_cfg.repeats = cfg_.importance_repeats;
+  Rng imp_rng = rng_.fork(static_cast<std::uint64_t>(ctx.eval_day));
+  std::vector<double> importance = explain::permutation_importance(
+      ctx.model, latest.X, latest.y, ctx.featurizer.norm_range(), imp_rng,
+      imp_cfg);
+  // Drift explanations are given in terms of KPIs (the paper's feature
+  // groups are all KPI columns): temporal/area encodings never represent
+  // a group, and resampling on e.g. day-of-week bins would be meaningless.
+  for (std::size_t c = static_cast<std::size_t>(ctx.featurizer.num_kpi_features());
+       c < importance.size(); ++c)
+    importance[c] = 0.0;
+
+  explain::GroupingConfig grp_cfg;
+  grp_cfg.corr_threshold = cfg_.corr_threshold;
+  grp_cfg.max_groups = cfg_.num_groups;
+  last_groups_ = explain::group_features(latest.X, importance, grp_cfg);
+  if (last_groups_.empty()) {
+    // No feature carries signal (can happen on tiny windows): fall back to
+    // plain triggered behaviour rather than skipping mitigation.
+    return latest_labeled_window(ctx.featurizer, ctx.eval_day,
+                                 ctx.train_window);
+  }
+
+  // Diagnostic: error contrast of the top group (how localized the error
+  // is over the representative feature's bins).  Recorded for the case
+  // study / benches; homogeneous drift legitimately produces flat
+  // profiles, so this is not used as a retrain gate.
+  {
+    const int rep = last_groups_.front().representative;
+    const std::vector<double> fv =
+        latest.X.col(static_cast<std::size_t>(rep));
+    const std::vector<double> edges =
+        explain::lea_bin_edges(fv, cfg_.lea_bins);
+    const explain::LeaResult el = explain::compute_lea(
+        ctx.model, latest, rep, cfg_.lea_bins, ctx.featurizer.norm_range(),
+        edges);
+    double max_err = 0.0, sum_we = 0.0;
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < el.error.size(); ++b) {
+      max_err = std::max(max_err, el.error[b]);
+      sum_we += el.error[b] * static_cast<double>(el.count[b]);
+      total += el.count[b];
+    }
+    last_contrast_ =
+        (max_err > 0.0 && total > 0)
+            ? 1.0 - sum_we / static_cast<double>(total) / max_err
+            : 0.0;
+  }
+
+  // Over-sampling pool: the collected dataset, truncated to the recent
+  // pool_window days (always contains the latest drifting samples).
+  const data::SupervisedSet pool =
+      latest_labeled_window(ctx.featurizer, ctx.eval_day, cfg_.pool_window);
+
+  // --- Mitigate: iterate forgetting + over-sampling per feature group,
+  // each round rebuilding from the previous round's restructured set.
+  data::SupervisedSet train = ctx.current_train;
+  for (const auto& group : last_groups_) {
+    Rng round_rng = rng_.fork(static_cast<std::uint64_t>(
+        ctx.eval_day * 131 + group.representative));
+    train =
+        restructure(ctx, train, latest, pool, group.representative, round_rng);
+  }
+
+  // --- Validate: fit a candidate on the restructured set and require it
+  // to hold up against the current model on the recency-weighted pool.
+  if (ctx.prototype != nullptr && !pool.empty()) {
+    auto candidate = ctx.prototype->clone_untrained();
+    candidate->fit(train.X, train.y);
+    if (candidate->trained()) {
+      double w_sum = 0.0, cur_sq = 0.0, cand_sq = 0.0;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        const double age =
+            static_cast<double>(ctx.eval_day - pool.target_day[i]);
+        const double w = std::exp(-std::max(0.0, age) / cfg_.recency_tau_days);
+        const double dc = ctx.model.predict_one(pool.X.row(i)) - pool.y[i];
+        const double dn = candidate->predict_one(pool.X.row(i)) - pool.y[i];
+        w_sum += w;
+        cur_sq += w * dc * dc;
+        cand_sq += w * dn * dn;
+      }
+      const double tolerance = dispersion_ >= cfg_.dispersion_threshold
+                                   ? cfg_.validation_tolerance_high
+                                   : cfg_.validation_tolerance_low;
+      if (w_sum > 0.0 && std::sqrt(cand_sq) > tolerance * std::sqrt(cur_sq)) {
+        return std::nullopt;  // the retrain would make things worse: skip
+      }
+    }
+  }
+  return train;
+}
+
+data::SupervisedSet LeafScheme::restructure(const SchemeContext& ctx,
+                                            const data::SupervisedSet& train,
+                                            const data::SupervisedSet& latest,
+                                            const data::SupervisedSet& pool,
+                                            int representative,
+                                            Rng& rng) const {
+  const double norm_range = ctx.featurizer.norm_range();
+
+  // E_L: the model's local error distribution over quantile bins of the
+  // representative feature, measured on the latest drifting samples.
+  const std::vector<double> latest_fv =
+      latest.X.col(static_cast<std::size_t>(representative));
+  const std::vector<double> edges =
+      explain::lea_bin_edges(latest_fv, cfg_.lea_bins);
+  const explain::LeaResult el = explain::compute_lea(
+      ctx.model, latest, representative, cfg_.lea_bins, norm_range, edges);
+
+  const double max_err =
+      el.error.empty() ? 0.0
+                       : *std::max_element(el.error.begin(), el.error.end());
+  if (max_err <= 0.0) return train;  // nothing to act on
+
+  const bool high_dispersion = dispersion_ >= cfg_.dispersion_threshold;
+
+  // --- Forgetting ------------------------------------------------------
+  // Each training sample is weighted by the (normalized) E_L error of the
+  // feature bin it falls into; samples in regions the model now gets
+  // wrong are stale and dropped with probability proportional to that
+  // weight.  Homogeneous (low-dispersion) KPIs replace stale regions
+  // wholesale; bursty (high-dispersion) KPIs forget more gently so
+  // transient spikes can't evict the whole history.
+  const double strength =
+      high_dispersion ? cfg_.forget_strength_high : cfg_.forget_strength_low;
+  const std::vector<double> train_fv =
+      train.X.col(static_cast<std::size_t>(representative));
+  std::vector<std::size_t> kept;
+  kept.reserve(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const std::size_t b = explain::lea_bin_of(train_fv[i], edges);
+    double p_drop = strength * el.error[b] / max_err;
+    if (!high_dispersion &&
+        ctx.eval_day - train.target_day[i] > cfg_.pool_window) {
+      p_drop += cfg_.forget_age_prob;  // slow drain of very old samples
+    }
+    if (!rng.bernoulli(std::min(cfg_.forget_cap, p_drop))) kept.push_back(i);
+  }
+  // Never forget everything: keep at least an eighth of the set.
+  if (kept.size() < train.size() / 8) {
+    kept.resize(train.size() / 8);
+    std::iota(kept.begin(), kept.end(), std::size_t{0});
+  }
+  data::SupervisedSet restructured = train.subset(kept);
+
+  // --- Over-sampling -----------------------------------------------------
+  // Refill to the original size from the collected pool, with per-bin
+  // weights linear (low dispersion) or cubic (high dispersion) in E_L, so
+  // high-error regions receive the most replacement data.  A small weight
+  // floor keeps every region represented.  Within a high-error bin the
+  // pool mixes months of samples, so focused over-sampling refreshes the
+  // region without cloning a transient burst.
+  // Low-dispersion KPIs over-sample "the latest drifting instances"
+  // directly (homogeneous drift: fresh data is simply better everywhere);
+  // high-dispersion KPIs draw from the months-long pool so cubic focusing
+  // cannot clone a transient burst.
+  const std::size_t refill = train.size() - restructured.size();
+  const data::SupervisedSet& source =
+      high_dispersion ? (pool.empty() ? latest : pool) : latest;
+  if (refill > 0 && !source.empty()) {
+    const std::vector<double> source_fv =
+        source.X.col(static_cast<std::size_t>(representative));
+    std::vector<double> weights(source.size());
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      const std::size_t b = explain::lea_bin_of(source_fv[i], edges);
+      const double e = el.error[b] / max_err;
+      weights[i] =
+          std::max(cfg_.oversample_floor, high_dispersion ? e * e * e : e);
+      if (high_dispersion) {
+        // Recency decay so a regime switch (e.g. an outage ending) isn't
+        // drowned out by months of pre-switch pool samples.
+        const double age =
+            static_cast<double>(ctx.eval_day - source.target_day[i]);
+        weights[i] *= std::exp(-std::max(0.0, age) / cfg_.recency_tau_days);
+      }
+    }
+    const std::vector<std::size_t> drawn =
+        rng.weighted_sample_with_replacement(weights, refill);
+    restructured.append(source.subset(drawn));
+  }
+  return restructured;
+}
+
+}  // namespace leaf::core

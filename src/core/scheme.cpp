@@ -1,0 +1,33 @@
+#include "core/scheme.hpp"
+
+namespace leaf::core {
+
+data::SupervisedSet latest_labeled_window(const data::Featurizer& featurizer,
+                                          int eval_day, int window) {
+  const int last_feature_day = eval_day - featurizer.horizon();
+  return featurizer.window(last_feature_day - window + 1, last_feature_day);
+}
+
+PeriodicScheme::PeriodicScheme(int period_days) : period_(period_days) {}
+
+void PeriodicScheme::reset() { last_retrain_day_ = -1; }
+
+std::optional<data::SupervisedSet> PeriodicScheme::on_step(
+    const SchemeContext& ctx) {
+  if (last_retrain_day_ < 0) last_retrain_day_ = ctx.eval_day;  // clock start
+  if (ctx.eval_day - last_retrain_day_ < period_) return std::nullopt;
+  last_retrain_day_ = ctx.eval_day;
+  return latest_labeled_window(ctx.featurizer, ctx.eval_day, ctx.train_window);
+}
+
+std::string PeriodicScheme::name() const {
+  return "Naive" + std::to_string(period_);
+}
+
+std::optional<data::SupervisedSet> TriggeredScheme::on_step(
+    const SchemeContext& ctx) {
+  if (!ctx.drift) return std::nullopt;
+  return latest_labeled_window(ctx.featurizer, ctx.eval_day, ctx.train_window);
+}
+
+}  // namespace leaf::core

@@ -1,0 +1,117 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace leaf::data {
+
+CellularDataset::CellularDataset(KpiSchema schema,
+                                 std::vector<EnbProfile> fleet, int num_days,
+                                 bool evolving, std::string name)
+    : schema_(std::move(schema)),
+      fleet_(std::move(fleet)),
+      num_days_(num_days),
+      evolving_(evolving),
+      name_(std::move(name)) {
+  day_enbs_.reserve(static_cast<std::size_t>(num_days));
+  day_values_.reserve(static_cast<std::size_t>(num_days));
+}
+
+int CellularDataset::enbs_on_day(int day) const {
+  assert(day >= 0 && day < static_cast<int>(day_enbs_.size()));
+  return static_cast<int>(day_enbs_[static_cast<std::size_t>(day)].size());
+}
+
+std::span<const int> CellularDataset::enb_indices_on_day(int day) const {
+  assert(day >= 0 && day < static_cast<int>(day_enbs_.size()));
+  return day_enbs_[static_cast<std::size_t>(day)];
+}
+
+std::span<const float> CellularDataset::log_on_day(int day, int i) const {
+  const auto& vals = day_values_[static_cast<std::size_t>(day)];
+  const std::size_t k = static_cast<std::size_t>(schema_.size());
+  assert(static_cast<std::size_t>(i + 1) * k <= vals.size());
+  return {vals.data() + static_cast<std::size_t>(i) * k, k};
+}
+
+int CellularDataset::enb_on_day(int day, int i) const {
+  return day_enbs_[static_cast<std::size_t>(day)][static_cast<std::size_t>(i)];
+}
+
+std::int64_t CellularDataset::total_logs() const {
+  std::int64_t n = 0;
+  for (const auto& d : day_enbs_) n += static_cast<std::int64_t>(d.size());
+  return n;
+}
+
+void CellularDataset::append_day(std::vector<int> enb_indices,
+                                 std::vector<float> values) {
+  assert(values.size() ==
+         enb_indices.size() * static_cast<std::size_t>(schema_.size()));
+  assert(static_cast<int>(day_enbs_.size()) < num_days_);
+  day_enbs_.push_back(std::move(enb_indices));
+  day_values_.push_back(std::move(values));
+}
+
+std::vector<double> CellularDataset::series(int enb_index, int column) const {
+  std::vector<double> out(static_cast<std::size_t>(num_days_),
+                          std::numeric_limits<double>::quiet_NaN());
+  for (int d = 0; d < static_cast<int>(day_enbs_.size()); ++d) {
+    const auto& enbs = day_enbs_[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < enbs.size(); ++i) {
+      if (enbs[i] == enb_index) {
+        out[static_cast<std::size_t>(d)] = static_cast<double>(
+            log_on_day(d, static_cast<int>(i))[static_cast<std::size_t>(column)]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> CellularDataset::fleet_mean_series(int column) const {
+  std::vector<double> out(static_cast<std::size_t>(num_days_),
+                          std::numeric_limits<double>::quiet_NaN());
+  for (int d = 0; d < static_cast<int>(day_enbs_.size()); ++d) {
+    const int n = enbs_on_day(d);
+    if (n == 0) continue;
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i)
+      acc += static_cast<double>(log_on_day(d, i)[static_cast<std::size_t>(column)]);
+    out[static_cast<std::size_t>(d)] = acc / n;
+  }
+  return out;
+}
+
+std::vector<double> CellularDataset::all_values(int column) const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(total_logs()));
+  for (int d = 0; d < static_cast<int>(day_enbs_.size()); ++d) {
+    const int n = enbs_on_day(d);
+    for (int i = 0; i < n; ++i)
+      out.push_back(static_cast<double>(
+          log_on_day(d, i)[static_cast<std::size_t>(column)]));
+  }
+  return out;
+}
+
+std::pair<double, double> CellularDataset::value_range(int column) const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int d = 0; d < static_cast<int>(day_enbs_.size()); ++d) {
+    const int n = enbs_on_day(d);
+    for (int i = 0; i < n; ++i) {
+      const double v = static_cast<double>(
+          log_on_day(d, i)[static_cast<std::size_t>(column)]);
+      if (!std::isfinite(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) return {0.0, 1.0};
+  return {lo, hi};
+}
+
+}  // namespace leaf::data

@@ -1,0 +1,84 @@
+// The daily eNodeB-level KPI log table (Table 1).
+//
+// One `CellularDataset` holds every log of either the Fixed or Evolving
+// dataset: for each study day, the set of eNodeBs reporting that day and
+// their KPI vectors.  Values are stored as float to keep the full-scale
+// dataset (898 eNBs x 1548 days x 224 KPIs) within ~1.2 GB; all analysis
+// code promotes to double.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/kpi.hpp"
+#include "data/network.hpp"
+
+namespace leaf::data {
+
+/// One daily log: a single eNodeB's KPI vector on a single day.
+struct LogRef {
+  int day = 0;
+  int enb_index = 0;  ///< index into profiles()
+  std::span<const float> kpis;
+};
+
+class CellularDataset {
+ public:
+  CellularDataset(KpiSchema schema, std::vector<EnbProfile> fleet,
+                  int num_days, bool evolving, std::string name);
+
+  const KpiSchema& schema() const { return schema_; }
+  const std::vector<EnbProfile>& profiles() const { return fleet_; }
+  int num_days() const { return num_days_; }
+  int num_kpis() const { return schema_.size(); }
+  bool evolving() const { return evolving_; }
+  const std::string& name() const { return name_; }
+
+  /// Number of eNodeBs reporting on the given day.
+  int enbs_on_day(int day) const;
+  /// eNodeB (profile) indices reporting on the given day.
+  std::span<const int> enb_indices_on_day(int day) const;
+  /// KPI vector for the i-th reporting eNodeB of the day.
+  std::span<const float> log_on_day(int day, int i) const;
+  /// eNodeB profile index for the i-th reporting eNodeB of the day.
+  int enb_on_day(int day, int i) const;
+
+  /// Total number of daily logs (Table 1: 699,381 / 1,084,837 at paper
+  /// scale).
+  std::int64_t total_logs() const;
+
+  /// Appends one day of logs.  `enb_indices` and `values` must be aligned;
+  /// values are row-major (enb-major) with num_kpis() columns.  Days must
+  /// be appended in order 0..num_days-1.
+  void append_day(std::vector<int> enb_indices, std::vector<float> values);
+
+  /// Series of one KPI for one eNodeB over all days; NaN where the eNodeB
+  /// did not report.  Column is a schema column index.
+  std::vector<double> series(int enb_index, int column) const;
+
+  /// Per-day fleet mean of one KPI (NaN for days with no reporters).
+  std::vector<double> fleet_mean_series(int column) const;
+
+  /// All values of one KPI across all logs (used for dispersion and
+  /// normalization ranges).
+  std::vector<double> all_values(int column) const;
+
+  /// Global [min, max] of a target KPI over the whole dataset — the
+  /// max-min normalizer used to turn RMSE into NRMSE (§2.3).
+  std::pair<double, double> value_range(int column) const;
+
+ private:
+  KpiSchema schema_;
+  std::vector<EnbProfile> fleet_;
+  int num_days_;
+  bool evolving_;
+  std::string name_;
+
+  // Day-major storage.
+  std::vector<std::vector<int>> day_enbs_;
+  std::vector<std::vector<float>> day_values_;
+};
+
+}  // namespace leaf::data

@@ -1,0 +1,73 @@
+// Synthetic cellular KPI dataset generator.
+//
+// This is the substitution for the paper's proprietary Verizon data (see
+// DESIGN.md).  For every (eNodeB, day) it synthesizes a latent network
+// state — demand, users, radio quality, congestion, mobility — shaped by
+// the drift processes in temporal.hpp, then derives all KPI columns of
+// the schema from that state.  Generation is fully deterministic in the
+// seed and *random-access*: the value of (enb, day) never depends on RNG
+// draws for other days, so datasets of any size can be built day-major
+// without a transpose pass.
+//
+// Concept drift enters through three mechanisms, mirroring §1:
+//   1. exogenous shocks — the COVID-19 demand/mobility collapse makes a
+//      pre-2020 model overestimate during lockdown (Fig. 5a);
+//   2. gradual evolution — organic growth plus the post-March-2021 demand
+//      ramp peaking January 2022 (Fig. 1a);
+//   3. endogenous changes — fleet software upgrades that rescale the
+//      *definition* of upgrade-sensitive KPIs, and a traffic-mix shift
+//      that weakens feature/target couplings while mobility is suppressed
+//      (genuine P(y|X) drift, not just covariate shift).
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "data/dataset.hpp"
+
+namespace leaf::data {
+
+/// Latent state of one eNodeB on one day — the quantities every KPI is a
+/// view of.  Exposed for tests and for the generator's documentation
+/// value; normal users only consume the finished dataset.
+struct LatentState {
+  double dvol_mb = 0.0;       ///< downlink volume (MB)
+  double peak_ues = 0.0;      ///< peak active UEs (0 during the loss window)
+  double throughput = 0.0;    ///< downlink throughput (Mbps)
+  double rrc_success = 0.0;   ///< RRC establishment successes
+  double call_drop = 0.0;     ///< S1-U call drop rate in [0, 1]
+  double gap_ratio = 0.0;     ///< RTP gap duration ratio in [0, 1]
+  double bad_coverage = 0.0;  ///< bad-coverage measurement count
+  double handovers = 0.0;     ///< handover count (mobility proxy)
+  double mobility = 1.0;      ///< mobility level in [0, 1]
+  double congestion = 0.0;    ///< load ratio in [0, ~1.5]
+};
+
+/// Computes the latent state for (profile, day).  Deterministic in
+/// (seed, profile.id, day).
+LatentState latent_state(const EnbProfile& profile, int day,
+                         std::uint64_t seed);
+
+/// Derives the full KPI vector for one log from its latent state.
+/// `out` must have schema.size() entries.
+void synthesize_log(const KpiSchema& schema, const EnbProfile& profile,
+                    int day, const LatentState& latent, std::uint64_t seed,
+                    float* out);
+
+/// Builds the Fixed dataset: scale.fixed_enbs eNodeBs present every day.
+CellularDataset generate_fixed_dataset(const Scale& scale,
+                                       std::uint64_t seed = 42);
+
+/// Builds the Evolving dataset: grows from ~46% of scale.evolving_enbs_max
+/// sites to the full count across the study.
+CellularDataset generate_evolving_dataset(const Scale& scale,
+                                          std::uint64_t seed = 42);
+
+/// Lower-level entry point used by both of the above and by tests that
+/// need custom fleets or day counts.
+CellularDataset generate_dataset(KpiSchema schema,
+                                 std::vector<EnbProfile> fleet, bool evolving,
+                                 std::string name, int num_days,
+                                 std::uint64_t seed);
+
+}  // namespace leaf::data

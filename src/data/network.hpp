@@ -1,0 +1,65 @@
+// eNodeB fleet model.
+//
+// The datasets cover "a large city and surrounding metropolitan area
+// (rural, suburban, and urban included)" (§2.1).  Each eNodeB gets a
+// static profile — area type, baseline demand/capacity, coverage quality,
+// COVID sensitivity, install date — from which the generator synthesizes
+// its daily KPI values.  The case study's finding that "the top 5% of
+// error mostly comes from eNodeBs located at suburban areas, because users
+// there change their mobility pattern" is reproduced by giving suburban
+// sites the largest COVID mobility sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leaf::data {
+
+enum class AreaType : std::uint8_t { kUrban, kSuburban, kRural };
+
+std::string to_string(AreaType a);
+
+/// Static per-eNodeB profile.
+struct EnbProfile {
+  int id = 0;
+  AreaType area = AreaType::kUrban;
+  /// Median daily downlink volume in MB (log-normal across the fleet; the
+  /// paper notes volumes "often greater than 300,000").
+  double base_volume_mb = 3e5;
+  /// Median daily peak active UEs.
+  double base_peak_ues = 400.0;
+  /// Cell capacity in Mbps (drives throughput and congestion).
+  double capacity_mbps = 150.0;
+  /// Baseline radio quality in (0, 1]; lower => more bad-coverage
+  /// measurements and lower throughput.
+  double coverage_quality = 0.9;
+  /// Multiplier on the COVID demand/mobility dip (suburban > urban >
+  /// rural).
+  double covid_sensitivity = 1.0;
+  /// Weekly demand amplitude (fraction).
+  double weekly_amp = 0.25;
+  /// Weekly phase offset in days.
+  int weekly_phase = 0;
+  /// Organic growth rate per year for this site.
+  double growth_rate = 0.12;
+  /// Amplitude of the gradual 2021 demand drift at this site.
+  double drift2021_amp = 0.3;
+  /// First study day with data from this site (0 for the Fixed dataset;
+  /// staggered for sites added during the study in the Evolving dataset).
+  int install_day = 0;
+  /// Whether this site loses PU data during the outage window (Table 2:
+  /// "Data Lost" affects PU between Jul 2019 and Jan 2020).
+  bool pu_loss_affected = false;
+};
+
+/// Builds the Fixed-dataset fleet: `count` eNodeBs, all installed at day 0.
+/// Deterministic in (count, seed).
+std::vector<EnbProfile> build_fixed_fleet(int count, std::uint64_t seed);
+
+/// Builds the Evolving-dataset fleet: starts with roughly half of
+/// `max_count` sites at day 0 and staggers the remainder across the study,
+/// reproducing "the operational growth of eNodeBs in this area".
+std::vector<EnbProfile> build_evolving_fleet(int max_count, std::uint64_t seed);
+
+}  // namespace leaf::data

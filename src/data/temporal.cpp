@@ -1,0 +1,133 @@
+#include "data/temporal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/calendar.hpp"
+#include "common/rng.hpp"
+
+namespace leaf::data {
+
+double smoothstep(double x, double lo, double hi) {
+  if (hi <= lo) return x >= hi ? 1.0 : 0.0;
+  const double t = std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+double weekly_factor(int day_index, double amp, int phase) {
+  // Monday=0 .. Sunday=6; business-driven cellular load peaks midweek and
+  // dips on weekends.  A smooth two-harmonic shape avoids an artificially
+  // square profile.
+  const int dow = (cal::day_of_week(day_index) + phase) % 7;
+  const double x = 2.0 * M_PI * static_cast<double>(dow) / 7.0;
+  const double shape = 0.8 * std::cos(x - 0.9) + 0.2 * std::cos(2.0 * x);
+  return 1.0 + amp * shape;
+}
+
+double seasonal_factor(int day_index, double amp) {
+  const double doy = static_cast<double>(cal::day_of_year(day_index));
+  const double x = 2.0 * M_PI * doy / 365.25;
+  // Peak near mid-December (holidays) with a small mid-summer bump.
+  const double main = std::cos(x - 2.0 * M_PI * 350.0 / 365.25);
+  const double summer = 0.35 * std::cos(2.0 * (x - 2.0 * M_PI * 200.0 / 365.25));
+  return 1.0 + amp * (main + summer);
+}
+
+double growth_factor(int day_index, double rate_per_year) {
+  return std::exp(rate_per_year * static_cast<double>(day_index) / 365.25);
+}
+
+double covid_factor(int day_index, double depth) {
+  const int start = cal::covid_start();
+  const int plateau_end = cal::day_index(cal::Date{2020, 6, 1});
+  const int recovery_end = cal::covid_recovery_end();
+  const double d = static_cast<double>(day_index);
+  if (day_index < start) return 1.0;
+  if (day_index <= plateau_end) {
+    // Two-week ramp down into the lockdown plateau.
+    return 1.0 - depth * smoothstep(d, start, start + 14);
+  }
+  if (day_index <= recovery_end) {
+    const double back =
+        smoothstep(d, plateau_end, recovery_end);
+    return 1.0 - depth * (1.0 - back);
+  }
+  return 1.0;
+}
+
+double mobility_level(int day_index, double sensitivity) {
+  // Mobility collapses harder than demand: scale the covid dip by 1.6 and
+  // clamp into [0, 1].
+  const double f = covid_factor(day_index, std::min(1.0, 1.6 * sensitivity * 0.25));
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double gradual_drift_factor(int day_index, double amp) {
+  const int start = cal::gradual_drift_start();
+  const int peak = cal::gradual_drift_peak();
+  if (day_index <= start) return 1.0;
+  return 1.0 + amp * smoothstep(static_cast<double>(day_index), start, peak);
+}
+
+bool in_pu_loss_window(int day_index) {
+  return day_index >= cal::pu_loss_start() && day_index <= cal::pu_loss_end();
+}
+
+const std::vector<int>& software_upgrade_days() {
+  static const std::vector<int> days = {
+      cal::day_index(cal::Date{2019, 6, 10}),
+      cal::day_index(cal::Date{2019, 12, 5}),
+      cal::day_index(cal::Date{2021, 4, 20}),
+      cal::day_index(cal::Date{2021, 11, 10}),
+  };
+  return days;
+}
+
+double episode_multiplier(std::uint64_t seed, int enb_id, int day,
+                          int stream_tag, double prob, double max_mult,
+                          int slot_len, int min_days, int max_days) {
+  if (day < 0) return 1.0;
+  // An episode may straddle a slot boundary, so check this slot and the
+  // previous one.
+  double mult = 1.0;
+  for (int slot = day / slot_len - 1; slot <= day / slot_len; ++slot) {
+    if (slot < 0) continue;
+    std::uint64_t s = seed ^ 0xEB150DE5ULL;
+    s ^= static_cast<std::uint64_t>(enb_id) * 0x9E3779B97F4A7C15ULL;
+    s ^= static_cast<std::uint64_t>(slot) * 0xBF58476D1CE4E5B9ULL;
+    s ^= static_cast<std::uint64_t>(stream_tag) * 0x94D049BB133111EBULL;
+    const double u_occur =
+        static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+    if (u_occur >= prob) continue;
+    const double u_start =
+        static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+    const double u_dur = static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+    const double u_mag = static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+    const int start = slot * slot_len +
+                      static_cast<int>(u_start * static_cast<double>(slot_len));
+    const int dur =
+        min_days + static_cast<int>(u_dur * static_cast<double>(max_days - min_days));
+    if (day >= start && day < start + dur) {
+      // Magnitude skewed toward the low end (u^2) with occasional severe
+      // episodes.
+      mult = std::max(mult, 1.0 + (max_mult - 1.0) * u_mag * u_mag);
+    }
+  }
+  return mult;
+}
+
+double upgrade_scale(int day_index, std::uint64_t kpi_salt) {
+  double scale = 1.0;
+  const auto& days = software_upgrade_days();
+  for (std::size_t u = 0; u < days.size(); ++u) {
+    if (day_index < days[u]) break;
+    // Deterministic per-(kpi, upgrade) factor in [0.85, 1.20].
+    std::uint64_t s = kpi_salt * 0x9E3779B97F4A7C15ULL + (u + 1) * 0xD1B54A32D192ED03ULL;
+    const double u01 =
+        static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+    scale *= 0.85 + 0.35 * u01;
+  }
+  return scale;
+}
+
+}  // namespace leaf::data

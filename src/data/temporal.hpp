@@ -1,0 +1,84 @@
+// Temporal processes that drive concept drift in the synthetic dataset.
+//
+// Section 1 of the paper enumerates the drift mechanisms this module
+// reproduces: "periodicity (e.g., seven-day period of volume), gradual
+// evolution (e.g., the constant addition of capacity by new equipment
+// installations), and exogenous shocks (e.g., a software upgrade, or a
+// sudden change in traffic patterns or demands such as the COVID-19
+// pandemic)".  Each factor below is a pure function of the study day index
+// (see common/calendar.hpp) returning a multiplicative modifier around 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace leaf::data {
+
+/// Weekly demand shape: weekday-high / weekend-low, amplitude `amp`
+/// (fraction).  `phase` rotates which day is the peak.
+double weekly_factor(int day_index, double amp, int phase = 0);
+
+/// Annual seasonality: smooth sinusoid over the day of year with amplitude
+/// `amp`, peaking in early winter (holiday traffic), plus a small
+/// secondary summer bump.
+double seasonal_factor(int day_index, double amp);
+
+/// Compound organic growth: exp(rate_per_year * years_since_start).
+double growth_factor(int day_index, double rate_per_year);
+
+/// COVID-19 mobility shock.  1 before the lockdown onset; ramps down to
+/// (1 - depth) over two weeks; holds through spring 2020; recovers
+/// linearly to 1 by `covid_recovery_end()`.  `depth` > 0 models the demand
+/// *drop* the paper observes (people move to fixed broadband), which is
+/// what makes pre-pandemic models overestimate during lockdown (Fig. 5a).
+double covid_factor(int day_index, double depth);
+
+/// User mobility level in [0, 1]: 1 normally, suppressed during lockdown
+/// proportionally to `sensitivity`.  Used for handover-type KPIs and for
+/// the traffic-mix shift (mobility_mix_sensitive KPIs).
+double mobility_level(int day_index, double sensitivity);
+
+/// Gradual post-March-2021 demand drift: 1 before the start, then a smooth
+/// ramp reaching (1 + amp) at the January 2022 peak and holding after.
+/// This reproduces the "NRMSE gradually increases [from March 2021] and
+/// peaks around January 2022" pattern.
+double gradual_drift_factor(int day_index, double amp);
+
+/// True while the peak-active-UE collection outage is active
+/// (July 2019 .. January 2020; Table 2 "Data Lost").
+bool in_pu_loss_window(int day_index);
+
+/// Fleet-wide software upgrade schedule.  Returns the dates (day indices)
+/// on which a firmware/software rollout changes KPI *definitions* — the
+/// endogenous drift source.  Chosen near the dates where the paper's
+/// detector fires outside COVID: June 2019, December 2019, April 2021,
+/// November 2021.
+const std::vector<int>& software_upgrade_days();
+
+/// Cumulative definition-scale applied to an upgrade-sensitive KPI at the
+/// given day: each upgrade before `day_index` multiplies the scale by a
+/// per-(kpi, upgrade) factor derived deterministically from `kpi_salt`.
+double upgrade_scale(int day_index, std::uint64_t kpi_salt);
+
+/// Smoothstep helper (0 at lo, 1 at hi, C1-continuous).
+double smoothstep(double x, double lo, double hi);
+
+/// Burst-episode multiplier for bursty KPIs (PU, CDR, GDR).
+///
+/// Real user-experience KPIs don't just have iid daily spikes: a faulty
+/// transport link or an interference source elevates drop / gap rates for
+/// *weeks* (§3.2 "short-lived, abrupt increases in error").  These
+/// correlated episodes are what make a drift-triggered retrain dangerous:
+/// a 14-day window sampled during an episode teaches the model a transient
+/// concept (Table 4: triggered retraining raises GDR error by 44%).
+///
+/// The schedule is deterministic and random-access: time is divided into
+/// `slot_len`-day slots; each (enb, slot, stream) draws whether an episode
+/// occurs, its start, duration, and magnitude from a salted hash.  Returns
+/// a multiplier >= 1 (1 outside episodes).
+double episode_multiplier(std::uint64_t seed, int enb_id, int day,
+                          int stream_tag, double prob, double max_mult,
+                          int slot_len = 45, int min_days = 7,
+                          int max_days = 35);
+
+}  // namespace leaf::data

@@ -1,0 +1,60 @@
+// Drift detector interface.
+//
+// LEAF's detector "ingests the outputs of the in-use model in the form of
+// NRMSE time-series to determine whether drift is occurring" (§4.1).  A
+// detector consumes one scalar per evaluation step and flags the steps at
+// which the error distribution has changed.  KSWIN is the paper's choice;
+// ADWIN, DDM, EDDM, HDDM-A and Page-Hinkley are the alternatives its
+// footnote 2 reports testing, all implemented here for the Appendix-B
+// comparison bench.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace leaf::drift {
+
+class DriftDetector {
+ public:
+  virtual ~DriftDetector() = default;
+
+  /// Feeds the next value of the monitored series (for LEAF: the NRMSE of
+  /// the in-use model at the current evaluation step).  Returns true when
+  /// drift is signalled at this step.  Detectors re-arm themselves after
+  /// signalling (internal state resets as appropriate).
+  virtual bool update(double value) = 0;
+
+  /// Full reset to the just-constructed state.
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Fresh detector with identical configuration.
+  virtual std::unique_ptr<DriftDetector> clone_fresh() const = 0;
+};
+
+/// Runs a detector over a whole series; returns the flagged indices.
+std::vector<std::size_t> detect_all(DriftDetector& detector,
+                                    std::span<const double> series);
+
+/// Adaptive binarizer used to feed the Bernoulli-stream detectors
+/// (DDM / EDDM) a continuous error series: emits 1 when the value exceeds
+/// an exponentially-weighted mean by `k` exponentially-weighted standard
+/// deviations.  Exposed for tests.
+class EwmaBinarizer {
+ public:
+  explicit EwmaBinarizer(double alpha = 0.05, double k = 2.0);
+  bool push(double value);
+  void reset();
+
+ private:
+  double alpha_;
+  double k_;
+  bool primed_ = false;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+};
+
+}  // namespace leaf::drift

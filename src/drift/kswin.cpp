@@ -1,0 +1,54 @@
+#include "drift/kswin.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace leaf::drift {
+
+Kswin::Kswin(KswinConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  assert(cfg_.stat_size > 1);
+  assert(cfg_.window_size >= 2 * cfg_.stat_size);
+  assert(cfg_.alpha > 0.0 && cfg_.alpha < 1.0);
+}
+
+bool Kswin::update(double value) {
+  window_.push_back(value);
+  if (static_cast<int>(window_.size()) > cfg_.window_size)
+    window_.pop_front();
+  if (static_cast<int>(window_.size()) < cfg_.window_size) return false;
+
+  const std::size_t r = static_cast<std::size_t>(cfg_.stat_size);
+  const std::size_t older = window_.size() - r;
+
+  // Recent slice: the last r values.
+  std::vector<double> recent(window_.end() - static_cast<std::ptrdiff_t>(r),
+                             window_.end());
+  // Reference: r values sampled uniformly from the older portion.
+  std::vector<double> reference;
+  reference.reserve(r);
+  for (std::size_t idx : rng_.sample_without_replacement(older, r))
+    reference.push_back(window_[idx]);
+
+  last_p_ = stats::ks_p_value(reference, recent);
+  if (last_p_ < cfg_.alpha) {
+    // Keep only the new concept's samples.
+    window_.erase(window_.begin(),
+                  window_.end() - static_cast<std::ptrdiff_t>(r));
+    return true;
+  }
+  return false;
+}
+
+void Kswin::reset() {
+  window_.clear();
+  last_p_ = 1.0;
+  rng_ = Rng(cfg_.seed);
+}
+
+std::unique_ptr<DriftDetector> Kswin::clone_fresh() const {
+  return std::make_unique<Kswin>(cfg_);
+}
+
+}  // namespace leaf::drift

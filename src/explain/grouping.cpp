@@ -1,0 +1,63 @@
+#include "explain/grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.hpp"
+
+namespace leaf::explain {
+
+std::vector<FeatureGroup> group_features(const Matrix& X,
+                                         std::span<const double> importance,
+                                         const GroupingConfig& cfg) {
+  const std::size_t k = X.cols();
+  std::vector<FeatureGroup> groups;
+  if (k == 0 || importance.size() != k) return groups;
+
+  // Row subsample (deterministic stride) for correlation estimation.
+  const std::size_t n = X.rows();
+  const std::size_t stride =
+      n > cfg.max_rows ? (n + cfg.max_rows - 1) / cfg.max_rows : 1;
+  std::vector<std::vector<double>> cols(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    auto& col = cols[c];
+    col.reserve(n / stride + 1);
+    for (std::size_t r = 0; r < n; r += stride) col.push_back(X(r, c));
+  }
+
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return importance[a] > importance[b];
+  });
+
+  std::vector<bool> grouped(k, false);
+  for (std::size_t oi = 0; oi < k; ++oi) {
+    const std::size_t rep = order[oi];
+    if (grouped[rep]) continue;
+    if (importance[rep] <= cfg.min_importance) break;  // no signal left
+    if (cfg.max_groups > 0 &&
+        static_cast<int>(groups.size()) >= cfg.max_groups)
+      break;
+
+    FeatureGroup g;
+    g.representative = static_cast<int>(rep);
+    g.importance = importance[rep];
+    g.members.push_back(static_cast<int>(rep));
+    grouped[rep] = true;
+
+    for (std::size_t c = 0; c < k; ++c) {
+      if (grouped[c]) continue;
+      const double corr = stats::pearson(cols[rep], cols[c]);
+      if (std::abs(corr) >= cfg.corr_threshold) {
+        g.members.push_back(static_cast<int>(c));
+        grouped[c] = true;
+      }
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace leaf::explain

@@ -1,0 +1,67 @@
+#include "explain/importance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/metrics.hpp"
+
+namespace leaf::explain {
+
+std::vector<double> permutation_importance(const models::Regressor& model,
+                                           const Matrix& X,
+                                           std::span<const double> y,
+                                           double norm_range, Rng& rng,
+                                           const ImportanceConfig& cfg) {
+  const std::size_t n_all = X.rows();
+  const std::size_t k = X.cols();
+  std::vector<double> scores(k, 0.0);
+  if (n_all == 0) return scores;
+
+  // Optional row subsample for tractability.
+  Matrix Xs;
+  std::vector<double> ys;
+  const Matrix* Xp = &X;
+  std::span<const double> yp = y;
+  if (n_all > cfg.max_rows) {
+    const auto rows = rng.sample_without_replacement(n_all, cfg.max_rows);
+    Xs = X.gather_rows(rows);
+    ys.reserve(rows.size());
+    for (std::size_t r : rows) ys.push_back(y[r]);
+    Xp = &Xs;
+    yp = ys;
+  }
+  const std::size_t n = Xp->rows();
+
+  const std::vector<double> base_pred = model.predict(*Xp);
+  const double base_err = metrics::nrmse(base_pred, yp, norm_range);
+
+  // Permute one column at a time in a scratch copy of the matrix.
+  Matrix scratch = *Xp;
+  std::vector<double> saved(n);
+  std::vector<std::size_t> perm(n);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t r = 0; r < n; ++r) saved[r] = scratch(r, c);
+    double acc = 0.0;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      rng.shuffle(perm);
+      for (std::size_t r = 0; r < n; ++r) scratch(r, c) = saved[perm[r]];
+      const std::vector<double> pred = model.predict(scratch);
+      acc += metrics::nrmse(pred, yp, norm_range) - base_err;
+    }
+    scores[c] = acc / static_cast<double>(cfg.repeats);
+    for (std::size_t r = 0; r < n; ++r) scratch(r, c) = saved[r];
+  }
+  return scores;
+}
+
+std::vector<std::size_t> importance_ranking(std::span<const double> scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace leaf::explain

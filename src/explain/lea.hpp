@@ -1,0 +1,103 @@
+// Local Error Approximation (LEA) and its two visualizations, LEAplot and
+// LEAgram — the heart of LEAF's explainer (§4.2).
+//
+// LEA decomposes a model's error over the value range of a representative
+// feature: samples are assigned to N quantile bins of the feature and a
+// chosen error metric (NRMSE by default) is computed inside each bin.
+// The resulting error vector E_L localizes *where* in feature space the
+// model is under-trained, which both informs operators (LEAplot) and
+// drives the mitigator's forgetting / over-sampling weights (§4.3).
+//
+// LEAgram extends LEA with time: the test set is split by date, samples
+// are placed into (date, feature-bin) cells, and the *signed* Normalized
+// Error is shown so over-estimation (unnecessary infrastructure spend)
+// and under-estimation (user dissatisfaction) are distinguishable.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "data/features.hpp"
+#include "models/regressor.hpp"
+
+namespace leaf::explain {
+
+/// Quantile bin edges (interior, ascending, deduplicated) of one feature.
+/// Computing these on a reference set and reusing them across data subsets
+/// puts all LEAplot series on a common x-axis.
+std::vector<double> lea_bin_edges(std::span<const double> feature_values,
+                                  int bins);
+
+/// Index of the bin containing `value` for the given interior edges
+/// (edges.size() + 1 total bins).
+std::size_t lea_bin_of(double value, std::span<const double> edges);
+
+/// The LEA error decomposition of one (model output, data subset) pair.
+struct LeaResult {
+  int feature = -1;                 ///< inspected column
+  std::vector<double> edges;        ///< interior bin edges
+  std::vector<double> error;        ///< per-bin NRMSE (E_L); 0 for empty bins
+  std::vector<std::size_t> count;   ///< samples per bin
+
+  std::size_t num_bins() const { return error.size(); }
+  /// Representative x position of a bin (midpoint of its edge interval;
+  /// outer bins use their single bounding edge).
+  double bin_center(std::size_t b) const;
+};
+
+/// Computes LEA for pre-computed predictions.
+LeaResult compute_lea(std::span<const double> pred,
+                      std::span<const double> truth,
+                      std::span<const double> feature_values, int feature,
+                      double norm_range, std::span<const double> edges);
+
+/// Convenience: runs the model over `set` and decomposes over column
+/// `feature`.  When `edges` is empty they are derived from this set.
+LeaResult compute_lea(const models::Regressor& model,
+                      const data::SupervisedSet& set, int feature, int bins,
+                      double norm_range, std::span<const double> edges = {});
+
+/// LEAplot: LEA of several named data subsets over a shared x-axis
+/// (paper Figs. 4 and 8 plot train / full-test / drift-window subsets).
+struct LeaPlot {
+  int feature = -1;
+  std::string feature_name;
+  std::vector<double> edges;
+  std::vector<std::pair<std::string, LeaResult>> series;
+
+  /// ASCII rendering (bin center vs error, one glyph per series).
+  std::string render(int width = 100, int height = 14) const;
+  /// CSV rows: bin_center, then one error column per series.
+  std::vector<std::vector<std::string>> csv_rows() const;
+};
+
+LeaPlot build_leaplot(
+    const models::Regressor& model,
+    const std::vector<std::pair<std::string, const data::SupervisedSet*>>& subsets,
+    int feature, const std::string& feature_name, int bins, double norm_range);
+
+/// LEAgram: date x feature-bin matrix of mean signed Normalized Error
+/// (paper Fig. 5).  Positive cells = overestimation, negative =
+/// underestimation; NaN = no samples in the cell.
+struct LeaGram {
+  int feature = -1;
+  std::string feature_name;
+  std::vector<double> edges;
+  std::vector<int> days;  ///< distinct target days, ascending (rows of ne)
+  Matrix ne;              ///< days x bins, NaN for empty cells
+
+  /// Mean |NE| over non-empty cells — a scalar summary used to compare
+  /// before/after mitigation (the paper quotes a 32.68% reduction).
+  double mean_abs_ne() const;
+  /// ASCII heat map (time on x, feature bins on y, diverging ramp).
+  std::string render() const;
+};
+
+LeaGram build_leagram(const models::Regressor& model,
+                      const data::SupervisedSet& test, int feature,
+                      const std::string& feature_name, int bins,
+                      double norm_range);
+
+}  // namespace leaf::explain

@@ -1,0 +1,38 @@
+// Model factory: maps the paper's model families (§3.1) to the
+// from-scratch implementations in this library, with sizes taken from the
+// active Scale so every bench builds comparable models.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "models/regressor.hpp"
+
+namespace leaf::models {
+
+/// The families studied in the paper plus the Ridge sanity baseline.
+enum class ModelFamily {
+  kGbdt,         ///< CatBoost stand-in (boosting; the paper's default model)
+  kLightGbdt,    ///< LightGBM-style boosting variant
+  kRandomForest, ///< bagging
+  kExtraTrees,   ///< bagging (randomized thresholds)
+  kKnn,          ///< distance-based
+  kLstm,         ///< recurrent
+  kRidge,        ///< linear baseline (not in the paper)
+};
+
+std::string to_string(ModelFamily f);
+/// Paper-facing label, e.g. kGbdt -> "CatBoost*" (the '*' marks stand-ins).
+std::string paper_name(ModelFamily f);
+bool parse_model_family(const std::string& name, ModelFamily& out);
+
+/// The four families Table 4 compares.
+std::vector<ModelFamily> table4_families();
+
+/// Builds an untrained model of the given family sized for `scale`.
+std::unique_ptr<Regressor> make_model(ModelFamily f, const Scale& scale,
+                                      std::uint64_t seed);
+
+}  // namespace leaf::models

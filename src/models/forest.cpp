@@ -1,0 +1,75 @@
+#include "models/forest.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace leaf::models {
+
+ForestConfig ForestConfig::random_forest(int num_trees, std::uint64_t seed) {
+  ForestConfig c;
+  c.num_trees = num_trees;
+  c.bootstrap = true;
+  c.random_thresholds = false;
+  c.seed = seed;
+  return c;
+}
+
+ForestConfig ForestConfig::extra_trees(int num_trees, std::uint64_t seed) {
+  ForestConfig c;
+  c.num_trees = num_trees;
+  c.bootstrap = false;
+  c.random_thresholds = true;
+  c.seed = seed;
+  return c;
+}
+
+Forest::Forest(ForestConfig cfg, std::string display_name)
+    : cfg_(cfg), name_(std::move(display_name)) {}
+
+void Forest::fit(const Matrix& X, std::span<const double> y,
+                 std::span<const double> w) {
+  trained_ = false;
+  trees_.clear();
+  if (!check_fit_args(X, y, w)) return;
+
+  Rng rng(cfg_.seed);
+  const std::size_t n = X.rows();
+  const BinnedData bd(X, 64);
+
+  TreeConfig tree_cfg;
+  tree_cfg.max_depth = cfg_.max_depth;
+  tree_cfg.min_samples_leaf = cfg_.min_samples_leaf;
+  tree_cfg.random_thresholds = cfg_.random_thresholds;
+  tree_cfg.features_per_split =
+      cfg_.features_per_split > 0
+          ? cfg_.features_per_split
+          : std::max<int>(1, static_cast<int>(
+                                 std::ceil(std::sqrt(static_cast<double>(X.cols()))) * 2.0));
+
+  trees_.reserve(static_cast<std::size_t>(cfg_.num_trees));
+  std::vector<std::size_t> rows;
+  for (int t = 0; t < cfg_.num_trees; ++t) {
+    rows.clear();
+    if (cfg_.bootstrap) {
+      rows.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) rows.push_back(rng.index(n));
+    }
+    DecisionTree tree;
+    tree.fit(bd, y, w, rows, tree_cfg, rng);
+    if (tree.trained()) trees_.push_back(std::move(tree));
+  }
+  trained_ = !trees_.empty();
+}
+
+double Forest::predict_one(std::span<const double> x) const {
+  assert(trained_);
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict_one(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::unique_ptr<Regressor> Forest::clone_untrained() const {
+  return std::make_unique<Forest>(cfg_, name_);
+}
+
+}  // namespace leaf::models

@@ -1,0 +1,49 @@
+// Bagging ensembles — the paper's second model family (§3.1):
+// Random Forest (bootstrap rows + per-split feature subsets) and
+// Extra Trees (no bootstrap, random split thresholds; Geurts et al. 2006).
+#pragma once
+
+#include <memory>
+
+#include "models/regressor.hpp"
+#include "models/tree.hpp"
+
+namespace leaf::models {
+
+struct ForestConfig {
+  int num_trees = 100;
+  /// Features considered per split; 0 resolves to ceil(sqrt(F)) * 2.
+  int features_per_split = 0;
+  int max_depth = 14;
+  int min_samples_leaf = 2;
+  /// true => Random Forest bootstrap; false => Extra-Trees full sample.
+  bool bootstrap = true;
+  /// true => random thresholds (Extra Trees).
+  bool random_thresholds = false;
+  std::uint64_t seed = 1;
+
+  static ForestConfig random_forest(int num_trees, std::uint64_t seed);
+  static ForestConfig extra_trees(int num_trees, std::uint64_t seed);
+};
+
+class Forest final : public Regressor {
+ public:
+  explicit Forest(ForestConfig cfg, std::string display_name);
+
+  void fit(const Matrix& X, std::span<const double> y,
+           std::span<const double> w = {}) override;
+  double predict_one(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone_untrained() const override;
+  std::string name() const override { return name_; }
+  bool trained() const override { return trained_; }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  ForestConfig cfg_;
+  std::string name_;
+  bool trained_ = false;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace leaf::models

@@ -1,0 +1,99 @@
+#include "models/gbdt.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace leaf::models {
+
+GbdtConfig GbdtConfig::catboost_like(int num_trees, std::uint64_t seed) {
+  GbdtConfig c;
+  c.num_trees = num_trees;
+  c.learning_rate = 0.1;
+  c.row_subsample = 0.85;
+  c.tree.max_depth = 6;
+  c.tree.min_samples_leaf = 3;
+  c.tree.features_per_split = -1;
+  c.seed = seed;
+  return c;
+}
+
+GbdtConfig GbdtConfig::lightgbm_like(int num_trees, std::uint64_t seed) {
+  GbdtConfig c;
+  c.num_trees = num_trees;
+  c.learning_rate = 0.08;
+  c.row_subsample = 0.7;
+  c.tree.max_depth = 8;
+  c.tree.min_samples_leaf = 5;
+  // LightGBM-style column sampling: consider a subset per split.
+  c.tree.features_per_split = 0;  // resolved to sqrt at fit time
+  c.seed = seed;
+  return c;
+}
+
+Gbdt::Gbdt(GbdtConfig cfg, std::string display_name)
+    : cfg_(cfg), name_(std::move(display_name)) {}
+
+void Gbdt::fit(const Matrix& X, std::span<const double> y,
+               std::span<const double> w) {
+  trained_ = false;
+  trees_.clear();
+  if (!check_fit_args(X, y, w)) return;
+
+  Rng rng(cfg_.seed);
+  const std::size_t n = X.rows();
+
+  TreeConfig tree_cfg = cfg_.tree;
+  if (tree_cfg.features_per_split == 0) {
+    tree_cfg.features_per_split = std::max<int>(
+        1, static_cast<int>(std::sqrt(static_cast<double>(X.cols())) * 2.0));
+  }
+
+  const BinnedData bd(X, 64);
+
+  // F0: weighted mean.
+  double sw = 0.0, swy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = w.empty() ? 1.0 : w[i];
+    sw += wi;
+    swy += wi * y[i];
+  }
+  base_ = sw > 0.0 ? swy / sw : 0.0;
+
+  std::vector<double> pred(n, base_);
+  std::vector<double> residual(n);
+  const std::size_t subsample =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   cfg_.row_subsample * static_cast<double>(n)));
+
+  trees_.reserve(static_cast<std::size_t>(cfg_.num_trees));
+  for (int t = 0; t < cfg_.num_trees; ++t) {
+    for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - pred[i];
+
+    std::vector<std::size_t> rows =
+        subsample < n ? rng.sample_without_replacement(n, subsample)
+                      : std::vector<std::size_t>{};
+
+    DecisionTree tree;
+    tree.fit(bd, residual, w, rows, tree_cfg, rng);
+    if (!tree.trained()) break;
+
+    for (std::size_t i = 0; i < n; ++i)
+      pred[i] += cfg_.learning_rate * tree.predict_one(X.row(i));
+    trees_.push_back(std::move(tree));
+  }
+  trained_ = true;
+}
+
+double Gbdt::predict_one(std::span<const double> x) const {
+  assert(trained_);
+  double out = base_;
+  for (const auto& tree : trees_) out += cfg_.learning_rate * tree.predict_one(x);
+  return out;
+}
+
+std::unique_ptr<Regressor> Gbdt::clone_untrained() const {
+  return std::make_unique<Gbdt>(cfg_, name_);
+}
+
+}  // namespace leaf::models

@@ -1,0 +1,63 @@
+#include "models/knn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace leaf::models {
+
+Knn::Knn(KnnConfig cfg) : cfg_(cfg) {}
+
+void Knn::fit(const Matrix& X, std::span<const double> y,
+              std::span<const double> w) {
+  trained_ = false;
+  if (!check_fit_args(X, y, w)) return;
+  scaler_.fit(X);
+  train_ = scaler_.transform(X);
+  y_.assign(y.begin(), y.end());
+  if (w.empty()) {
+    w_.assign(y.size(), 1.0);
+  } else {
+    w_.assign(w.begin(), w.end());
+  }
+  trained_ = true;
+}
+
+double Knn::predict_one(std::span<const double> x) const {
+  assert(trained_);
+  std::vector<double> z(x.size());
+  scaler_.transform_row(x, z);
+
+  const std::size_t n = train_.rows();
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(cfg_.k), n);
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, std::size_t>> d(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = train_.row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < z.size(); ++c) {
+      const double diff = row[c] - z[c];
+      acc += diff * diff;
+    }
+    d[r] = {acc, r};
+  }
+  std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   d.end());
+
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto [dist2, r] = d[i];
+    const double dist = std::max(cfg_.min_distance, std::sqrt(dist2));
+    const double weight = w_[r] / dist;
+    num += weight * y_[r];
+    den += weight;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+std::unique_ptr<Regressor> Knn::clone_untrained() const {
+  return std::make_unique<Knn>(cfg_);
+}
+
+}  // namespace leaf::models

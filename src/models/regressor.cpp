@@ -1,0 +1,23 @@
+#include "models/regressor.hpp"
+
+#include <cassert>
+
+namespace leaf::models {
+
+std::vector<double> Regressor::predict(const Matrix& X) const {
+  std::vector<double> out;
+  out.reserve(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) out.push_back(predict_one(X.row(r)));
+  return out;
+}
+
+bool check_fit_args(const Matrix& X, std::span<const double> y,
+                    std::span<const double> w) {
+  assert(X.rows() == y.size());
+  assert(w.empty() || w.size() == y.size());
+  if (X.rows() != y.size()) return false;
+  if (!w.empty() && w.size() != y.size()) return false;
+  return X.rows() > 0;
+}
+
+}  // namespace leaf::models

@@ -1,0 +1,51 @@
+// Black-box regressor interface.
+//
+// LEAF is model-agnostic: it "does not require the use of any specific
+// model nor internal access to the employed model" (§4.1) — it only fits
+// models, asks for predictions, and inspects errors.  Every model family
+// in the paper's study (boosting, bagging, distance-based, recurrent)
+// implements this interface; sample weights are accepted everywhere so
+// the mitigator's over-sampling can alternatively be expressed as
+// re-weighting.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace leaf::models {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits on rows of X with targets y.  `w` may be empty (uniform) or hold
+  /// one non-negative weight per row.  Refitting discards previous state.
+  virtual void fit(const Matrix& X, std::span<const double> y,
+                   std::span<const double> w = {}) = 0;
+
+  /// Predicts a single feature vector.  Only valid after fit().
+  virtual double predict_one(std::span<const double> x) const = 0;
+
+  /// Batch prediction; default implementation loops predict_one.
+  virtual std::vector<double> predict(const Matrix& X) const;
+
+  /// Fresh untrained copy with identical hyperparameters (used for every
+  /// retrain so schemes never warm-start accidentally).
+  virtual std::unique_ptr<Regressor> clone_untrained() const = 0;
+
+  /// Display name, e.g. "GBDT" or "KNeighbors".
+  virtual std::string name() const = 0;
+
+  virtual bool trained() const = 0;
+};
+
+/// Validates fit() inputs; asserts in debug builds, returns false on
+/// violation in release builds so models can bail out uniformly.
+bool check_fit_args(const Matrix& X, std::span<const double> y,
+                    std::span<const double> w);
+
+}  // namespace leaf::models

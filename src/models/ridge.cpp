@@ -1,0 +1,99 @@
+#include "models/ridge.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace leaf::models {
+
+bool cholesky_solve(Matrix& a, std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+  // Decompose A = L L^T in the lower triangle.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Forward substitution L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Back substitution L^T x = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a(k, ii) * b[k];
+    b[ii] = s / a(ii, ii);
+  }
+  return true;
+}
+
+Ridge::Ridge(RidgeConfig cfg) : cfg_(cfg) {}
+
+void Ridge::fit(const Matrix& X, std::span<const double> y,
+                std::span<const double> w) {
+  trained_ = false;
+  if (!check_fit_args(X, y, w)) return;
+  scaler_.fit(X);
+  const Matrix Z = scaler_.transform(X);
+  const std::size_t n = Z.rows(), k = Z.cols();
+
+  // Weighted normal equations on standardized features; the intercept is
+  // handled by centering y.
+  double sw = 0.0, swy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = w.empty() ? 1.0 : w[i];
+    sw += wi;
+    swy += wi * y[i];
+  }
+  const double ybar = sw > 0.0 ? swy / sw : 0.0;
+
+  Matrix a(k, k, 0.0);
+  std::vector<double> b(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = w.empty() ? 1.0 : w[i];
+    const auto row = Z.row(i);
+    const double yc = y[i] - ybar;
+    for (std::size_t p = 0; p < k; ++p) {
+      b[p] += wi * row[p] * yc;
+      for (std::size_t q = p; q < k; ++q) a(p, q) += wi * row[p] * row[q];
+    }
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    a(p, p) += cfg_.lambda;
+    for (std::size_t q = p + 1; q < k; ++q) a(q, p) = a(p, q);
+  }
+
+  if (!cholesky_solve(a, b)) {
+    // Extremely ill-conditioned (shouldn't happen with lambda > 0): fall
+    // back to predicting the mean.
+    beta_.assign(k, 0.0);
+  } else {
+    beta_ = std::move(b);
+  }
+  intercept_ = ybar;
+  trained_ = true;
+}
+
+double Ridge::predict_one(std::span<const double> x) const {
+  assert(trained_);
+  std::vector<double> z(x.size());
+  scaler_.transform_row(x, z);
+  double out = intercept_;
+  for (std::size_t c = 0; c < z.size(); ++c) out += beta_[c] * z[c];
+  return out;
+}
+
+std::unique_ptr<Regressor> Ridge::clone_untrained() const {
+  return std::make_unique<Ridge>(cfg_);
+}
+
+}  // namespace leaf::models

@@ -1,0 +1,46 @@
+// Ridge (L2-regularized linear) regression.
+//
+// Not one of the paper's four families, but included as the cheap linear
+// baseline every forecasting study wants for sanity checks, and used by
+// the test suite as a fast Regressor implementation.  Solved in closed
+// form via Cholesky on the (standardized) normal equations with weights.
+#pragma once
+
+#include <memory>
+
+#include "data/features.hpp"
+#include "models/regressor.hpp"
+
+namespace leaf::models {
+
+struct RidgeConfig {
+  double lambda = 1.0;  ///< L2 strength (applied on standardized features)
+};
+
+class Ridge final : public Regressor {
+ public:
+  explicit Ridge(RidgeConfig cfg = {});
+
+  void fit(const Matrix& X, std::span<const double> y,
+           std::span<const double> w = {}) override;
+  double predict_one(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone_untrained() const override;
+  std::string name() const override { return "Ridge"; }
+  bool trained() const override { return trained_; }
+
+  std::span<const double> coefficients() const { return beta_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  RidgeConfig cfg_;
+  bool trained_ = false;
+  data::Standardizer scaler_;
+  std::vector<double> beta_;  // on standardized features
+  double intercept_ = 0.0;
+};
+
+/// Solves A x = b for symmetric positive-definite A (in-place Cholesky).
+/// Returns false when A is not positive definite.  Exposed for tests.
+bool cholesky_solve(Matrix& a, std::vector<double>& b);
+
+}  // namespace leaf::models

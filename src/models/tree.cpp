@@ -1,0 +1,249 @@
+#include "models/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace leaf::models {
+
+BinnedData::BinnedData(const Matrix& X, int max_bins)
+    : rows_(X.rows()), cols_(X.cols()) {
+  assert(max_bins >= 2 && max_bins <= 256);
+  codes_.resize(rows_ * cols_);
+  bin_count_.resize(cols_);
+  edges_.resize(cols_);
+
+  std::vector<double> col(rows_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    for (std::size_t r = 0; r < rows_; ++r) col[r] = X(r, c);
+    // Candidate edges from quantiles; deduplicate to handle ties / constant
+    // columns.
+    std::vector<double> sorted = col;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double>& edges = edges_[c];
+    for (int b = 1; b < max_bins; ++b) {
+      const double q = static_cast<double>(b) / max_bins;
+      const double e =
+          sorted[static_cast<std::size_t>(q * static_cast<double>(rows_ - 1))];
+      if (edges.empty() || e > edges.back()) edges.push_back(e);
+    }
+    // An edge at (or above) the column maximum separates nothing: drop it
+    // so constant columns yield a single bin and no empty top bins exist.
+    while (!edges.empty() && edges.back() >= sorted.back()) edges.pop_back();
+    bin_count_[c] = static_cast<int>(edges.size()) + 1;
+    // Assign codes: bin = count of edges strictly below value.
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const auto it = std::lower_bound(edges.begin(), edges.end(), col[r]);
+      codes_[c * rows_ + r] = static_cast<std::uint8_t>(it - edges.begin());
+    }
+  }
+}
+
+double BinnedData::threshold(std::size_t col, int b) const {
+  // Values with code <= b are <= edges_[col][b] (when it exists); splitting
+  // at that edge reproduces the binned partition exactly for training rows.
+  const auto& edges = edges_[col];
+  assert(b >= 0 && b < static_cast<int>(edges.size()));
+  return edges[static_cast<std::size_t>(b)];
+}
+
+namespace {
+
+struct BinAcc {
+  double sum_w = 0.0;
+  double sum_wy = 0.0;
+};
+
+}  // namespace
+
+void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
+                       std::span<const double> w,
+                       std::span<const std::size_t> rows,
+                       const TreeConfig& cfg, Rng& rng) {
+  nodes_.clear();
+  assert(bd.rows() == y.size());
+  assert(w.empty() || w.size() == y.size());
+
+  std::vector<std::size_t> work;
+  if (rows.empty()) {
+    work.resize(bd.rows());
+    std::iota(work.begin(), work.end(), std::size_t{0});
+  } else {
+    work.assign(rows.begin(), rows.end());
+  }
+  if (work.empty()) {
+    nodes_.push_back(Node{.value = 0.0});
+    return;
+  }
+
+  const auto weight_of = [&](std::size_t r) {
+    return w.empty() ? 1.0 : w[r];
+  };
+
+  struct Pending {
+    std::int32_t node;
+    std::size_t begin, end;  // range in `work`
+    int depth;
+  };
+
+  nodes_.push_back(Node{});
+  std::vector<Pending> stack{{0, 0, work.size(), 0}};
+
+  const std::size_t n_features = bd.cols();
+  std::vector<int> feature_pool(n_features);
+  std::iota(feature_pool.begin(), feature_pool.end(), 0);
+  std::vector<BinAcc> acc;
+
+  while (!stack.empty()) {
+    const Pending p = stack.back();
+    stack.pop_back();
+    Node& node = nodes_[static_cast<std::size_t>(p.node)];
+
+    double sum_w = 0.0, sum_wy = 0.0;
+    for (std::size_t i = p.begin; i < p.end; ++i) {
+      const std::size_t r = work[i];
+      sum_w += weight_of(r);
+      sum_wy += weight_of(r) * y[r];
+    }
+    node.value = sum_w > 0.0 ? sum_wy / sum_w : 0.0;
+
+    const std::size_t n_node = p.end - p.begin;
+    if (p.depth >= cfg.max_depth ||
+        n_node < 2 * static_cast<std::size_t>(cfg.min_samples_leaf) ||
+        sum_w <= 0.0) {
+      continue;  // leaf
+    }
+
+    // Candidate features for this split.
+    int n_candidates = cfg.features_per_split > 0
+                           ? std::min<int>(cfg.features_per_split,
+                                           static_cast<int>(n_features))
+                           : static_cast<int>(n_features);
+    if (n_candidates < static_cast<int>(n_features)) {
+      // Partial Fisher–Yates over the shared pool.
+      for (int i = 0; i < n_candidates; ++i) {
+        const std::size_t j =
+            static_cast<std::size_t>(i) + rng.index(n_features - static_cast<std::size_t>(i));
+        std::swap(feature_pool[static_cast<std::size_t>(i)], feature_pool[j]);
+      }
+    }
+
+    double best_gain = cfg.min_gain;
+    int best_feature = -1;
+    int best_bin = -1;
+    const double parent_score = sum_wy * sum_wy / sum_w;
+
+    for (int fc = 0; fc < n_candidates; ++fc) {
+      const std::size_t f = static_cast<std::size_t>(feature_pool[static_cast<std::size_t>(fc)]);
+      const int nb = bd.num_bins(f);
+      if (nb < 2) continue;
+      acc.assign(static_cast<std::size_t>(nb), BinAcc{});
+      int lo_bin = nb, hi_bin = -1;
+      for (std::size_t i = p.begin; i < p.end; ++i) {
+        const std::size_t r = work[i];
+        const int b = bd.bin(r, f);
+        acc[static_cast<std::size_t>(b)].sum_w += weight_of(r);
+        acc[static_cast<std::size_t>(b)].sum_wy += weight_of(r) * y[r];
+        lo_bin = std::min(lo_bin, b);
+        hi_bin = std::max(hi_bin, b);
+      }
+      if (lo_bin >= hi_bin) continue;  // constant within node
+
+      if (cfg.random_thresholds) {
+        // Extra-Trees: a single uniformly random cut in [lo_bin, hi_bin).
+        const int b = lo_bin + static_cast<int>(rng.index(
+                                   static_cast<std::size_t>(hi_bin - lo_bin)));
+        double lw = 0.0, lwy = 0.0;
+        for (int bb = lo_bin; bb <= b; ++bb) {
+          lw += acc[static_cast<std::size_t>(bb)].sum_w;
+          lwy += acc[static_cast<std::size_t>(bb)].sum_wy;
+        }
+        const double rw = sum_w - lw, rwy = sum_wy - lwy;
+        if (lw <= 0.0 || rw <= 0.0) continue;
+        const double gain =
+            lwy * lwy / lw + rwy * rwy / rw - parent_score;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_bin = b;
+        }
+      } else {
+        // Exhaustive scan over cut positions.
+        double lw = 0.0, lwy = 0.0;
+        for (int b = lo_bin; b < hi_bin; ++b) {
+          lw += acc[static_cast<std::size_t>(b)].sum_w;
+          lwy += acc[static_cast<std::size_t>(b)].sum_wy;
+          const double rw = sum_w - lw, rwy = sum_wy - lwy;
+          if (lw <= 0.0 || rw <= 0.0) continue;
+          const double gain = lwy * lwy / lw + rwy * rwy / rw - parent_score;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_feature = static_cast<int>(f);
+            best_bin = b;
+          }
+        }
+      }
+    }
+
+    if (best_feature < 0) continue;  // no useful split -> leaf
+
+    // Partition `work[p.begin, p.end)` by the chosen split.
+    const std::size_t f = static_cast<std::size_t>(best_feature);
+    auto mid_it = std::stable_partition(
+        work.begin() + static_cast<std::ptrdiff_t>(p.begin),
+        work.begin() + static_cast<std::ptrdiff_t>(p.end),
+        [&](std::size_t r) { return bd.bin(r, f) <= best_bin; });
+    const std::size_t mid =
+        static_cast<std::size_t>(mid_it - work.begin());
+    if (mid == p.begin || mid == p.end) continue;  // degenerate
+    if (mid - p.begin < static_cast<std::size_t>(cfg.min_samples_leaf) ||
+        p.end - mid < static_cast<std::size_t>(cfg.min_samples_leaf)) {
+      continue;
+    }
+
+    const std::int32_t left = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    const std::int32_t right = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    // `node` reference may be invalidated by push_back; re-index.
+    Node& nd = nodes_[static_cast<std::size_t>(p.node)];
+    nd.feature = best_feature;
+    nd.threshold = bd.threshold(f, best_bin);
+    nd.left = left;
+    nd.right = right;
+    stack.push_back({left, p.begin, mid, p.depth + 1});
+    stack.push_back({right, mid, p.end, p.depth + 1});
+  }
+}
+
+double DecisionTree::predict_one(std::span<const double> x) const {
+  assert(trained());
+  std::size_t i = 0;
+  for (;;) {
+    const Node& n = nodes_[i];
+    if (n.feature < 0) return n.value;
+    const double v = x[static_cast<std::size_t>(n.feature)];
+    i = static_cast<std::size_t>(v <= n.threshold ? n.left : n.right);
+  }
+}
+
+int DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the explicit node structure.
+  std::vector<std::pair<std::size_t, int>> stack{{0, 1}};
+  int best = 0;
+  while (!stack.empty()) {
+    auto [i, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& n = nodes_[i];
+    if (n.feature >= 0) {
+      stack.push_back({static_cast<std::size_t>(n.left), d + 1});
+      stack.push_back({static_cast<std::size_t>(n.right), d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace leaf::models

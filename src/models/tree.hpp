@@ -1,0 +1,86 @@
+// Histogram-based regression tree — the weak learner shared by the GBDT
+// (CatBoost / LightGBM stand-ins) and the bagging ensembles (Random
+// Forest, Extra Trees).
+//
+// Features are pre-quantized into at most `max_bins` quantile bins
+// (`BinnedData`), so finding the best split of a node costs
+// O(rows + bins) per candidate feature.  Binning is computed once per
+// training set and shared by every tree of an ensemble.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace leaf::models {
+
+/// Quantile-binned view of a feature matrix.
+class BinnedData {
+ public:
+  /// Bins each column of X into <= max_bins quantile bins.  max_bins must
+  /// be <= 256 (bins are stored as uint8).
+  BinnedData(const Matrix& X, int max_bins);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  int num_bins(std::size_t col) const { return bin_count_[col]; }
+
+  std::uint8_t bin(std::size_t row, std::size_t col) const {
+    return codes_[col * rows_ + row];  // column-major for split scans
+  }
+
+  /// Raw-value threshold separating bins <= b from bins > b of a column
+  /// (midpoint between adjacent bin representative edges).
+  double threshold(std::size_t col, int b) const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::uint8_t> codes_;       // column-major
+  std::vector<int> bin_count_;            // per column
+  std::vector<std::vector<double>> edges_;  // per column, ascending
+};
+
+struct TreeConfig {
+  int max_depth = 6;
+  int min_samples_leaf = 3;
+  double min_gain = 1e-12;
+  /// Features considered per split; -1 means all.
+  int features_per_split = -1;
+  /// Extra-Trees mode: one random split bin per candidate feature instead
+  /// of scanning every bin.
+  bool random_thresholds = false;
+};
+
+/// A fitted regression tree.  Prediction traverses raw-value thresholds,
+/// so it works on any feature vector, not just binned training rows.
+class DecisionTree {
+ public:
+  /// Fits to (binned) rows given targets and optional weights.  `rows`
+  /// selects the training subset (bootstrap / subsample); empty means all
+  /// rows.  The tree stores *raw* thresholds taken from `bd`.
+  void fit(const BinnedData& bd, std::span<const double> y,
+           std::span<const double> w, std::span<const std::size_t> rows,
+           const TreeConfig& cfg, Rng& rng);
+
+  double predict_one(std::span<const double> x) const;
+
+  bool trained() const { return !nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 == leaf
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace leaf::models

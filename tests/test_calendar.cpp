@@ -1,0 +1,84 @@
+// Unit tests for calendar arithmetic (common/calendar.hpp).
+#include "common/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace leaf::cal {
+namespace {
+
+TEST(Calendar, StudyStartIsDayZero) {
+  EXPECT_EQ(day_index(kStudyStart), 0);
+}
+
+TEST(Calendar, StudyEndIndex) {
+  // Jan 1 2018 .. Mar 28 2022 inclusive = 1548 days.
+  EXPECT_EQ(day_index(kStudyEnd), 1547);
+  EXPECT_EQ(study_length(), 1548);
+}
+
+TEST(Calendar, RoundTripAllStudyDays) {
+  for (int d = 0; d < study_length(); ++d) {
+    EXPECT_EQ(day_index(date_of(d)), d);
+  }
+}
+
+TEST(Calendar, KnownDates) {
+  EXPECT_EQ(day_index(Date{2018, 2, 1}), 31);
+  EXPECT_EQ(day_index(Date{2019, 1, 1}), 365);
+  EXPECT_EQ(day_index(Date{2020, 1, 1}), 730);
+  // 2020 is a leap year.
+  EXPECT_EQ(day_index(Date{2021, 1, 1}), 1096);
+}
+
+TEST(Calendar, LeapDayExists) {
+  const Date leap{2020, 2, 29};
+  const int idx = day_index(leap);
+  EXPECT_EQ(date_of(idx), leap);
+  EXPECT_EQ(date_of(idx + 1), (Date{2020, 3, 1}));
+}
+
+TEST(Calendar, DayOfWeekStartIsMonday) {
+  EXPECT_EQ(day_of_week(0), 0);  // 2018-01-01 was a Monday
+  EXPECT_EQ(day_of_week(6), 6);  // Sunday
+  EXPECT_EQ(day_of_week(7), 0);  // Monday again
+}
+
+TEST(Calendar, DayOfWeekKnownDate) {
+  // 2020-03-15 was a Sunday.
+  EXPECT_EQ(day_of_week(day_index(Date{2020, 3, 15})), 6);
+}
+
+TEST(Calendar, DayOfYear) {
+  EXPECT_EQ(day_of_year(0), 0);
+  EXPECT_EQ(day_of_year(day_index(Date{2018, 12, 31})), 364);
+  EXPECT_EQ(day_of_year(day_index(Date{2020, 12, 31})), 365);  // leap year
+}
+
+TEST(Calendar, ToStringFormat) {
+  EXPECT_EQ(to_string(Date{2020, 3, 5}), "2020-03-05");
+  EXPECT_EQ(day_to_string(0), "2018-01-01");
+}
+
+TEST(Calendar, NamedEpochsOrdering) {
+  EXPECT_LT(0, anchor_2018_07_01());
+  EXPECT_LT(anchor_2018_07_01(), pu_loss_start());
+  EXPECT_LT(pu_loss_start(), pu_loss_end());
+  EXPECT_LT(pu_loss_end(), covid_start());
+  EXPECT_LT(covid_start(), covid_recovery_end());
+  EXPECT_LT(covid_recovery_end(), gradual_drift_start());
+  EXPECT_LT(gradual_drift_start(), gradual_drift_peak());
+  EXPECT_LT(early_2022(), study_length());
+}
+
+TEST(Calendar, AnchorIsJulyFirst2018) {
+  EXPECT_EQ(date_of(anchor_2018_07_01()), (Date{2018, 7, 1}));
+}
+
+TEST(Calendar, CovidStartIsMidMarch2020) {
+  const Date d = date_of(covid_start());
+  EXPECT_EQ(d.year, 2020);
+  EXPECT_EQ(d.month, 3);
+}
+
+}  // namespace
+}  // namespace leaf::cal

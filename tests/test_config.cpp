@@ -1,0 +1,74 @@
+// Unit tests for the scale configuration (common/config.hpp).
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace leaf {
+namespace {
+
+TEST(Scale, LevelsAreMonotone) {
+  const Scale s = Scale::for_level(Scale::Level::kSmall);
+  const Scale m = Scale::for_level(Scale::Level::kMedium);
+  const Scale f = Scale::for_level(Scale::Level::kFull);
+  EXPECT_LT(s.fixed_enbs, m.fixed_enbs);
+  EXPECT_LT(m.fixed_enbs, f.fixed_enbs);
+  EXPECT_LT(s.evolving_enbs_max, m.evolving_enbs_max);
+  EXPECT_LT(m.evolving_enbs_max, f.evolving_enbs_max);
+  EXPECT_LE(s.num_kpis, m.num_kpis);
+  EXPECT_LE(m.num_kpis, f.num_kpis);
+  EXPECT_LE(s.gbdt_trees, m.gbdt_trees);
+  EXPECT_LE(m.gbdt_trees, f.gbdt_trees);
+}
+
+TEST(Scale, FullMatchesPaperShape) {
+  const Scale f = Scale::for_level(Scale::Level::kFull);
+  EXPECT_EQ(f.fixed_enbs, 412);
+  EXPECT_EQ(f.evolving_enbs_max, 898);
+  EXPECT_EQ(f.num_kpis, 224);
+  EXPECT_EQ(f.eval_stride_days, 1);
+}
+
+TEST(Scale, Names) {
+  EXPECT_EQ(Scale::for_level(Scale::Level::kSmall).name(), "small");
+  EXPECT_EQ(Scale::for_level(Scale::Level::kMedium).name(), "medium");
+  EXPECT_EQ(Scale::for_level(Scale::Level::kFull).name(), "full");
+}
+
+TEST(Scale, FromEnvDefaultsToSmall) {
+  ::unsetenv("LEAF_SCALE");
+  EXPECT_EQ(Scale::from_env().name(), "small");
+}
+
+TEST(Scale, FromEnvReadsVariable) {
+  ::setenv("LEAF_SCALE", "medium", 1);
+  EXPECT_EQ(Scale::from_env().name(), "medium");
+  ::setenv("LEAF_SCALE", "full", 1);
+  EXPECT_EQ(Scale::from_env().name(), "full");
+  ::unsetenv("LEAF_SCALE");
+}
+
+TEST(Scale, FromEnvUnknownFallsBackToSmall) {
+  ::setenv("LEAF_SCALE", "gigantic", 1);
+  EXPECT_EQ(Scale::from_env().name(), "small");
+  ::unsetenv("LEAF_SCALE");
+}
+
+TEST(Scale, EveryLevelHasPositiveKnobs) {
+  for (auto level : {Scale::Level::kSmall, Scale::Level::kMedium,
+                     Scale::Level::kFull}) {
+    const Scale s = Scale::for_level(level);
+    EXPECT_GT(s.fixed_enbs, 0);
+    EXPECT_GT(s.evolving_enbs_max, s.fixed_enbs);
+    EXPECT_GE(s.num_kpis, 9);  // KpiSchema::build minimum
+    EXPECT_GT(s.gbdt_trees, 0);
+    EXPECT_GT(s.forest_trees, 0);
+    EXPECT_GT(s.lstm_epochs, 0);
+    EXPECT_GT(s.lstm_hidden, 0);
+    EXPECT_GT(s.eval_stride_days, 0);
+  }
+}
+
+}  // namespace
+}  // namespace leaf

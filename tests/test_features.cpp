@@ -1,0 +1,215 @@
+// Unit tests for featurization (data/features.hpp).
+#include "data/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/calendar.hpp"
+#include "common/rng.hpp"
+#include "data/generator.hpp"
+
+namespace leaf::data {
+namespace {
+
+Scale tiny_scale() {
+  Scale s = Scale::for_level(Scale::Level::kSmall);
+  s.fixed_enbs = 6;
+  s.evolving_enbs_max = 10;
+  s.num_kpis = 12;
+  return s;
+}
+
+const CellularDataset& fixed_ds() {
+  static const CellularDataset ds = generate_fixed_dataset(tiny_scale(), 42);
+  return ds;
+}
+
+TEST(Featurizer, FeatureCountAndNames) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol);
+  EXPECT_EQ(f.num_features(), fixed_ds().num_kpis() + 8);
+  EXPECT_EQ(static_cast<int>(f.feature_names().size()), f.num_features());
+  EXPECT_EQ(f.num_kpi_features(), fixed_ds().num_kpis());
+  EXPECT_EQ(f.feature_names().front(), "pdcp_dl_datavol_mb");
+  EXPECT_EQ(f.feature_names().back(), "area_rural");
+}
+
+TEST(Featurizer, WindowProducesOnePairPerEnbPerDay) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol);
+  const SupervisedSet set = f.window(100, 104);
+  EXPECT_EQ(set.size(), 5u * 6u);  // 5 days x 6 eNBs
+  EXPECT_EQ(set.X.rows(), set.size());
+  EXPECT_EQ(set.X.cols(), static_cast<std::size_t>(f.num_features()));
+}
+
+TEST(Featurizer, TargetIsHorizonAhead) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol, 180);
+  const SupervisedSet set = f.window(50, 52);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set.target_day[i], set.feature_day[i] + 180);
+  }
+}
+
+TEST(Featurizer, TargetValueMatchesDataset) {
+  const Featurizer f(fixed_ds(), TargetKpi::kCDR, 180);
+  const SupervisedSet set = f.window(60, 60);
+  const int col = fixed_ds().schema().target_column(TargetKpi::kCDR);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const int day = set.target_day[i];
+    // Locate the row of this eNB in the target day's logs.
+    const auto enbs = fixed_ds().enb_indices_on_day(day);
+    const auto it = std::find(enbs.begin(), enbs.end(), set.enb[i]);
+    ASSERT_NE(it, enbs.end());
+    const double expected = static_cast<double>(fixed_ds().log_on_day(
+        day, static_cast<int>(it - enbs.begin()))[static_cast<std::size_t>(col)]);
+    EXPECT_DOUBLE_EQ(set.y[i], expected);
+  }
+}
+
+TEST(Featurizer, FeatureRowCopiesKpiLog) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol);
+  const SupervisedSet set = f.window(70, 70);
+  const auto log0 = fixed_ds().log_on_day(70, 0);
+  for (int c = 0; c < fixed_ds().num_kpis(); ++c)
+    EXPECT_DOUBLE_EQ(set.X(0, static_cast<std::size_t>(c)),
+                     static_cast<double>(log0[static_cast<std::size_t>(c)]));
+}
+
+TEST(Featurizer, TemporalEncodingsAreUnitCircle) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol);
+  const SupervisedSet set = f.window(70, 76);
+  const std::size_t nk = static_cast<std::size_t>(f.num_kpi_features());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const double dow_sin = set.X(i, nk);
+    const double dow_cos = set.X(i, nk + 1);
+    EXPECT_NEAR(dow_sin * dow_sin + dow_cos * dow_cos, 1.0, 1e-9);
+    const double doy_sin = set.X(i, nk + 2);
+    const double doy_cos = set.X(i, nk + 3);
+    EXPECT_NEAR(doy_sin * doy_sin + doy_cos * doy_cos, 1.0, 1e-9);
+  }
+}
+
+TEST(Featurizer, AreaOneHotSumsToOne) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol);
+  const SupervisedSet set = f.window(70, 70);
+  const std::size_t base = static_cast<std::size_t>(f.num_features()) - 3;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        set.X(i, base) + set.X(i, base + 1) + set.X(i, base + 2), 1.0);
+  }
+}
+
+TEST(Featurizer, WindowClampsAtHorizonBoundary) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol, 180);
+  const int last_valid = fixed_ds().num_days() - 1 - 180;
+  const SupervisedSet set = f.window(last_valid - 1, last_valid + 100);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    EXPECT_LE(set.target_day[i], fixed_ds().num_days() - 1);
+  EXPECT_EQ(set.size(), 2u * 6u);  // only 2 valid feature days remain
+}
+
+TEST(Featurizer, AtTargetDayMatchesWindowPairs) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol, 180);
+  const SupervisedSet a = f.at_target_day(400);
+  const SupervisedSet b = f.window(220, 220);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.target_day[i], 400);
+    EXPECT_DOUBLE_EQ(a.y[i], b.y[i]);
+  }
+}
+
+TEST(Featurizer, AtTargetDayOutOfRangeEmpty) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol, 180);
+  EXPECT_TRUE(f.at_target_day(100).empty());   // before first horizon
+  EXPECT_TRUE(f.at_target_day(99999).empty()); // past the study
+}
+
+TEST(Featurizer, EvolvingDatasetOnlyPairsEnbsPresentOnBothDays) {
+  const CellularDataset ds = generate_evolving_dataset(tiny_scale(), 42);
+  const Featurizer f(ds, TargetKpi::kDVol, 180);
+  // Near the start, fewer eNBs exist; pairs require presence at d and
+  // d+180.
+  const SupervisedSet set = f.window(10, 10);
+  EXPECT_EQ(static_cast<int>(set.size()), ds.enbs_on_day(10));
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto enbs_t = ds.enb_indices_on_day(set.target_day[i]);
+    EXPECT_TRUE(std::find(enbs_t.begin(), enbs_t.end(), set.enb[i]) !=
+                enbs_t.end());
+  }
+}
+
+TEST(Featurizer, NormRangePositiveAndMatchesDataset) {
+  const Featurizer f(fixed_ds(), TargetKpi::kGDR);
+  const auto [lo, hi] =
+      fixed_ds().value_range(fixed_ds().schema().target_column(TargetKpi::kGDR));
+  EXPECT_DOUBLE_EQ(f.norm_range(), hi - lo);
+  EXPECT_GT(f.norm_range(), 0.0);
+}
+
+TEST(SupervisedSet, SubsetSelectsRows) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol);
+  const SupervisedSet set = f.window(100, 101);
+  const std::vector<std::size_t> rows = {0, 3, 3};
+  const SupervisedSet sub = set.subset(rows);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.y[0], set.y[0]);
+  EXPECT_DOUBLE_EQ(sub.y[1], set.y[3]);
+  EXPECT_DOUBLE_EQ(sub.y[2], set.y[3]);
+  EXPECT_EQ(sub.enb[1], set.enb[3]);
+}
+
+TEST(SupervisedSet, AppendConcatenates) {
+  const Featurizer f(fixed_ds(), TargetKpi::kDVol);
+  SupervisedSet a = f.window(100, 100);
+  const SupervisedSet b = f.window(101, 101);
+  const std::size_t na = a.size();
+  a.append(b);
+  EXPECT_EQ(a.size(), na + b.size());
+  EXPECT_DOUBLE_EQ(a.y[na], b.y[0]);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Matrix x(100, 2);
+  Rng rng(1);
+  for (std::size_t r = 0; r < 100; ++r) {
+    x(r, 0) = rng.normal(5.0, 3.0);
+    x(r, 1) = rng.normal(-2.0, 0.5);
+  }
+  Standardizer s;
+  s.fit(x);
+  const Matrix z = s.transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < 100; ++r) mean += z(r, c);
+    mean /= 100.0;
+    for (std::size_t r = 0; r < 100; ++r)
+      var += (z(r, c) - mean) * (z(r, c) - mean);
+    var /= 100.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(Standardizer, ConstantColumnMapsToZero) {
+  Matrix x(10, 1, 7.0);
+  Standardizer s;
+  s.fit(x);
+  const Matrix z = s.transform(x);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+}
+
+TEST(Standardizer, TransformRowMatchesTransform) {
+  Matrix x(20, 3);
+  Rng rng(2);
+  for (auto& v : x.flat()) v = rng.normal();
+  Standardizer s;
+  s.fit(x);
+  const Matrix z = s.transform(x);
+  std::vector<double> row(3);
+  s.transform_row(x.row(5), row);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(row[c], z(5, c));
+}
+
+}  // namespace
+}  // namespace leaf::data

@@ -1,0 +1,197 @@
+// Unit tests for the temporal drift processes (data/temporal.hpp).
+#include "data/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/calendar.hpp"
+
+namespace leaf::data {
+namespace {
+
+TEST(Temporal, SmoothstepEndpoints) {
+  EXPECT_DOUBLE_EQ(smoothstep(0.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(smoothstep(1.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(smoothstep(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(smoothstep(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(smoothstep(5.0, 0.0, 1.0), 1.0);
+}
+
+TEST(Temporal, WeeklyFactorHasPeriodSeven) {
+  for (int d = 0; d < 30; ++d)
+    EXPECT_NEAR(weekly_factor(d, 0.2), weekly_factor(d + 7, 0.2), 1e-12);
+}
+
+TEST(Temporal, WeeklyFactorAmplitudeBounds) {
+  for (int d = 0; d < 7; ++d) {
+    const double f = weekly_factor(d, 0.25);
+    EXPECT_GT(f, 1.0 - 0.25 * 1.01);
+    EXPECT_LT(f, 1.0 + 0.25 * 1.01);
+  }
+}
+
+TEST(Temporal, WeeklyFactorWeekendLowerThanMidweek) {
+  // Business-driven load: Wednesday (dow 2) above Sunday (dow 6).
+  const double wed = weekly_factor(2, 0.25);
+  const double sun = weekly_factor(6, 0.25);
+  EXPECT_GT(wed, sun);
+}
+
+TEST(Temporal, WeeklyFactorZeroAmpIsOne) {
+  for (int d = 0; d < 7; ++d)
+    EXPECT_DOUBLE_EQ(weekly_factor(d, 0.0), 1.0);
+}
+
+TEST(Temporal, SeasonalFactorHasAnnualPeriod) {
+  EXPECT_NEAR(seasonal_factor(0, 0.1), seasonal_factor(365, 0.1), 0.02);
+}
+
+TEST(Temporal, GrowthFactorCompounds) {
+  EXPECT_DOUBLE_EQ(growth_factor(0, 0.1), 1.0);
+  EXPECT_NEAR(growth_factor(365, 0.1), std::exp(0.1 * 365.0 / 365.25), 1e-9);
+  EXPECT_GT(growth_factor(730, 0.1), growth_factor(365, 0.1));
+}
+
+TEST(Temporal, CovidFactorOneBeforeLockdown) {
+  EXPECT_DOUBLE_EQ(covid_factor(cal::covid_start() - 1, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(covid_factor(0, 0.3), 1.0);
+}
+
+TEST(Temporal, CovidFactorReachesFullDepthInPlateau) {
+  const int mid_plateau = cal::day_index(cal::Date{2020, 5, 1});
+  EXPECT_NEAR(covid_factor(mid_plateau, 0.3), 0.7, 1e-9);
+}
+
+TEST(Temporal, CovidFactorRecoversToOne) {
+  EXPECT_NEAR(covid_factor(cal::covid_recovery_end(), 0.3), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(covid_factor(cal::covid_recovery_end() + 100, 0.3), 1.0);
+}
+
+TEST(Temporal, CovidFactorMonotoneRampDown) {
+  const int start = cal::covid_start();
+  for (int d = start; d < start + 14; ++d)
+    EXPECT_GE(covid_factor(d, 0.3), covid_factor(d + 1, 0.3));
+}
+
+TEST(Temporal, MobilityBoundedAndSuppressedDuringLockdown) {
+  const int mid = cal::day_index(cal::Date{2020, 4, 15});
+  for (double sens : {0.5, 1.0, 1.6}) {
+    const double m = mobility_level(mid, sens);
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+    EXPECT_LT(m, 1.0);  // suppressed
+  }
+  EXPECT_DOUBLE_EQ(mobility_level(0, 1.0), 1.0);
+}
+
+TEST(Temporal, GradualDriftRampsToPeak) {
+  EXPECT_DOUBLE_EQ(gradual_drift_factor(cal::gradual_drift_start(), 0.4), 1.0);
+  EXPECT_NEAR(gradual_drift_factor(cal::gradual_drift_peak(), 0.4), 1.4, 1e-9);
+  // Holds after the peak.
+  EXPECT_NEAR(gradual_drift_factor(cal::gradual_drift_peak() + 60, 0.4), 1.4,
+              1e-9);
+  // Strictly increasing in between.
+  const int mid = (cal::gradual_drift_start() + cal::gradual_drift_peak()) / 2;
+  EXPECT_GT(gradual_drift_factor(mid, 0.4), 1.0);
+  EXPECT_LT(gradual_drift_factor(mid, 0.4), 1.4);
+}
+
+TEST(Temporal, PuLossWindowBounds) {
+  EXPECT_FALSE(in_pu_loss_window(cal::pu_loss_start() - 1));
+  EXPECT_TRUE(in_pu_loss_window(cal::pu_loss_start()));
+  EXPECT_TRUE(in_pu_loss_window(cal::pu_loss_end()));
+  EXPECT_FALSE(in_pu_loss_window(cal::pu_loss_end() + 1));
+}
+
+TEST(Temporal, SoftwareUpgradeDaysSortedWithinStudy) {
+  const auto& days = software_upgrade_days();
+  ASSERT_EQ(days.size(), 4u);
+  for (std::size_t i = 1; i < days.size(); ++i)
+    EXPECT_LT(days[i - 1], days[i]);
+  EXPECT_GT(days.front(), 0);
+  EXPECT_LT(days.back(), cal::study_length());
+}
+
+TEST(Temporal, UpgradeScaleStepsAtUpgradeDays) {
+  const std::uint64_t salt = 12345;
+  const auto& days = software_upgrade_days();
+  // Before the first upgrade: exactly 1.
+  EXPECT_DOUBLE_EQ(upgrade_scale(days.front() - 1, salt), 1.0);
+  // Constant between upgrades, changes across them.
+  const double after_first = upgrade_scale(days.front(), salt);
+  EXPECT_NE(after_first, 1.0);
+  EXPECT_DOUBLE_EQ(upgrade_scale(days[1] - 1, salt), after_first);
+  EXPECT_NE(upgrade_scale(days[1], salt), after_first);
+}
+
+TEST(Temporal, UpgradeScaleBounded) {
+  for (std::uint64_t salt = 0; salt < 200; ++salt) {
+    const double s = upgrade_scale(cal::study_length() - 1, salt);
+    EXPECT_GT(s, std::pow(0.85, 4.0) * 0.999);
+    EXPECT_LT(s, std::pow(1.20, 4.0) * 1.001);
+  }
+}
+
+TEST(Temporal, EpisodeMultiplierDeterministic) {
+  for (int day = 0; day < 400; ++day) {
+    EXPECT_DOUBLE_EQ(episode_multiplier(1, 3, day, 1, 0.2, 6.0),
+                     episode_multiplier(1, 3, day, 1, 0.2, 6.0));
+  }
+}
+
+TEST(Temporal, EpisodeMultiplierAtLeastOneAndBounded) {
+  for (int day = 0; day < 1548; ++day) {
+    const double m = episode_multiplier(7, 11, day, 2, 0.25, 15.0, 90, 21, 75);
+    EXPECT_GE(m, 1.0);
+    EXPECT_LE(m, 15.0);
+  }
+}
+
+TEST(Temporal, EpisodesAreContiguousRuns) {
+  // Episodes should appear as multi-day runs, not isolated spikes: count
+  // transitions vs elevated days over many sites.
+  int elevated = 0, transitions = 0;
+  for (int enb = 0; enb < 30; ++enb) {
+    bool prev = false;
+    for (int day = 0; day < 1548; ++day) {
+      const bool hi =
+          episode_multiplier(7, enb, day, 2, 0.25, 15.0, 90, 21, 75) > 1.0;
+      elevated += hi;
+      transitions += (hi != prev);
+      prev = hi;
+    }
+  }
+  ASSERT_GT(elevated, 0);
+  // Mean run length = elevated / (transitions/2) should be >= min_days/2.
+  const double mean_run = 2.0 * elevated / std::max(1, transitions);
+  EXPECT_GT(mean_run, 10.0);
+}
+
+TEST(Temporal, EpisodeFrequencyTracksProbability) {
+  int elevated_days = 0;
+  const int sites = 50, days = 1548;
+  for (int enb = 0; enb < sites; ++enb)
+    for (int day = 0; day < days; ++day)
+      if (episode_multiplier(7, enb, day, 1, 0.2, 6.0) > 1.0) ++elevated_days;
+  const double frac = static_cast<double>(elevated_days) / (sites * days);
+  // prob 0.2 per 45-day slot, mean duration ~21 days -> ~9% of days.
+  EXPECT_GT(frac, 0.03);
+  EXPECT_LT(frac, 0.25);
+}
+
+TEST(Temporal, EpisodesDifferAcrossStreams) {
+  // Stream tags decorrelate the schedules of PU / CDR / GDR episodes.
+  int both = 0, either = 0;
+  for (int day = 0; day < 1548; ++day) {
+    const bool a = episode_multiplier(7, 3, day, 1, 0.2, 6.0) > 1.0;
+    const bool b = episode_multiplier(7, 3, day, 3, 0.2, 6.0) > 1.0;
+    both += (a && b);
+    either += (a || b);
+  }
+  ASSERT_GT(either, 0);
+  EXPECT_LT(static_cast<double>(both) / either, 0.6);
+}
+
+}  // namespace
+}  // namespace leaf::data

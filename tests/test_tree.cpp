@@ -1,0 +1,200 @@
+// Unit tests for the histogram decision tree (models/tree.hpp).
+#include "models/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace leaf::models {
+namespace {
+
+Matrix step_data(std::size_t n) {
+  // x in [0,1); y = 1 for x >= 0.5 else 0.
+  Matrix x(n, 1);
+  for (std::size_t i = 0; i < n; ++i)
+    x(i, 0) = static_cast<double>(i) / static_cast<double>(n);
+  return x;
+}
+
+std::vector<double> step_targets(const Matrix& x) {
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) y[i] = x(i, 0) >= 0.5 ? 1.0 : 0.0;
+  return y;
+}
+
+TEST(BinnedData, BinCodesRespectOrdering) {
+  Matrix x(100, 1);
+  for (std::size_t i = 0; i < 100; ++i) x(i, 0) = static_cast<double>(i);
+  const BinnedData bd(x, 16);
+  EXPECT_EQ(bd.rows(), 100u);
+  EXPECT_EQ(bd.cols(), 1u);
+  EXPECT_GE(bd.num_bins(0), 8);
+  for (std::size_t i = 1; i < 100; ++i)
+    EXPECT_LE(bd.bin(i - 1, 0), bd.bin(i, 0));
+}
+
+TEST(BinnedData, ConstantColumnSingleBin) {
+  Matrix x(50, 1, 3.0);
+  const BinnedData bd(x, 16);
+  EXPECT_EQ(bd.num_bins(0), 1);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(bd.bin(i, 0), 0);
+}
+
+TEST(BinnedData, ThresholdSeparatesBins) {
+  Matrix x(100, 1);
+  for (std::size_t i = 0; i < 100; ++i) x(i, 0) = static_cast<double>(i);
+  const BinnedData bd(x, 8);
+  for (int b = 0; b + 1 < bd.num_bins(0); ++b) {
+    const double thr = bd.threshold(0, b);
+    for (std::size_t i = 0; i < 100; ++i) {
+      if (bd.bin(i, 0) <= b) {
+        EXPECT_LE(x(i, 0), thr);
+      } else {
+        EXPECT_GT(x(i, 0), thr);
+      }
+    }
+  }
+}
+
+TEST(DecisionTree, FitsConstantTarget) {
+  Matrix x = step_data(64);
+  std::vector<double> y(64, 3.5);
+  const BinnedData bd(x, 32);
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(bd, y, {}, {}, TreeConfig{}, rng);
+  ASSERT_TRUE(tree.trained());
+  EXPECT_DOUBLE_EQ(tree.predict_one(x.row(10)), 3.5);
+  // A constant target admits no useful split.
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, LearnsStepFunctionExactly) {
+  Matrix x = step_data(128);
+  const std::vector<double> y = step_targets(x);
+  const BinnedData bd(x, 64);
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(bd, y, {}, {}, TreeConfig{}, rng);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    EXPECT_DOUBLE_EQ(tree.predict_one(x.row(i)), y[i]) << "row " << i;
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Rng data_rng(5);
+  Matrix x(256, 4);
+  std::vector<double> y(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) x(i, c) = data_rng.normal();
+    y[i] = data_rng.normal();  // pure noise -> tree wants to overfit
+  }
+  const BinnedData bd(x, 32);
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  cfg.min_samples_leaf = 1;
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(bd, y, {}, {}, cfg, rng);
+  EXPECT_LE(tree.depth(), 4);  // root at depth 1
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  Matrix x = step_data(64);
+  const std::vector<double> y = step_targets(x);
+  const BinnedData bd(x, 64);
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 64;  // can never split
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(bd, y, {}, {}, cfg, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, SampleWeightsShiftLeafValues) {
+  Matrix x(4, 1);
+  x(0, 0) = x(1, 0) = 0.0;
+  x(2, 0) = x(3, 0) = 1.0;
+  const std::vector<double> y = {0.0, 10.0, 0.0, 10.0};
+  const BinnedData bd(x, 4);
+  TreeConfig cfg;
+  cfg.max_depth = 0;  // root only: leaf value = weighted mean
+  DecisionTree tree;
+  Rng rng(1);
+  const std::vector<double> w = {3.0, 1.0, 3.0, 1.0};
+  tree.fit(bd, y, w, {}, cfg, rng);
+  EXPECT_NEAR(tree.predict_one(x.row(0)), 2.5, 1e-12);
+}
+
+TEST(DecisionTree, RowSubsetRestrictsTraining) {
+  Matrix x = step_data(100);
+  std::vector<double> y = step_targets(x);
+  // Poison the rows we exclude.
+  for (std::size_t i = 50; i < 100; ++i) y[i] = -100.0;
+  const BinnedData bd(x, 64);
+  std::vector<std::size_t> rows(50);
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(bd, y, {}, rows, TreeConfig{}, rng);
+  // Trained only on x < 0.5 where y == 0.
+  EXPECT_NEAR(tree.predict_one(x.row(10)), 0.0, 1e-9);
+}
+
+TEST(DecisionTree, ExtraTreesModeStillReducesError) {
+  Matrix x = step_data(256);
+  const std::vector<double> y = step_targets(x);
+  const BinnedData bd(x, 64);
+  TreeConfig cfg;
+  cfg.random_thresholds = true;
+  DecisionTree tree;
+  Rng rng(3);
+  tree.fit(bd, y, {}, {}, cfg, rng);
+  double sse = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double d = tree.predict_one(x.row(i)) - y[i];
+    sse += d * d;
+  }
+  // Variance of y is 0.25 per sample; the randomized tree should capture
+  // most of it.
+  EXPECT_LT(sse / static_cast<double>(x.rows()), 0.05);
+}
+
+TEST(DecisionTree, DeterministicGivenSameRng) {
+  Matrix x = step_data(128);
+  std::vector<double> y = step_targets(x);
+  const BinnedData bd(x, 64);
+  TreeConfig cfg;
+  cfg.features_per_split = 1;
+  cfg.random_thresholds = true;
+  DecisionTree t1, t2;
+  Rng r1(9), r2(9);
+  t1.fit(bd, y, {}, {}, cfg, r1);
+  t2.fit(bd, y, {}, {}, cfg, r2);
+  EXPECT_EQ(t1.node_count(), t2.node_count());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    EXPECT_DOUBLE_EQ(t1.predict_one(x.row(i)), t2.predict_one(x.row(i)));
+}
+
+TEST(DecisionTree, MultiFeatureInteraction) {
+  // y = XOR-ish: needs two levels of splits.
+  Rng data_rng(11);
+  Matrix x(512, 2);
+  std::vector<double> y(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    x(i, 0) = data_rng.uniform();
+    x(i, 1) = data_rng.uniform();
+    y[i] = (x(i, 0) >= 0.5) != (x(i, 1) >= 0.5) ? 1.0 : 0.0;
+  }
+  const BinnedData bd(x, 64);
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(bd, y, {}, {}, TreeConfig{}, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < 512; ++i)
+    if (std::abs(tree.predict_one(x.row(i)) - y[i]) < 0.3) ++correct;
+  EXPECT_GT(correct, 480u);
+}
+
+}  // namespace
+}  // namespace leaf::models
