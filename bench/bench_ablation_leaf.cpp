@@ -130,5 +130,6 @@ int main() {
               "high-dispersion KPI (poisoned retrains deploy); disabling "
               "forgetting strands stale data on the low-dispersion KPI; "
               "uniform sampling blurs the informed refill.\n");
+  bench::require_ok(w);
   return 0;
 }

@@ -120,6 +120,7 @@ int main() {
       t.add_row({det->name(), std::to_string(days.size()),
                  std::to_string(matched_events(days)), first});
     }
+    bench::require_ok(w);
     std::printf("%s", t.render().c_str());
   }
   std::printf("\nexpected: KSWIN detects most known events with a moderate "

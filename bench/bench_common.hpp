@@ -33,6 +33,16 @@ inline CsvWriter csv(const std::string& name) {
   return CsvWriter(out_dir() + "/" + name);
 }
 
+/// Flushes the writer and aborts the bench loudly if any write failed.
+/// Every bench calls this when it is done with a writer: a truncated CSV
+/// that parses as a shorter experiment is strictly worse than no CSV.
+inline void require_ok(CsvWriter& w) {
+  if (!w.finish()) {
+    std::fprintf(stderr, "FATAL: %s\n", w.error().c_str());
+    std::exit(1);
+  }
+}
+
 /// Standard header every bench prints.
 inline void banner(const char* exp_id, const char* what, const Scale& scale) {
   std::printf("================================================================\n");

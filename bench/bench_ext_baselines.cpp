@@ -74,5 +74,6 @@ int main() {
               "adaptation methods rarely beat frequent retraining; LEAF's "
               "advantage is matching it at far fewer retrains while never "
               "degrading the model.\n");
+  bench::require_ok(w);
   return 0;
 }

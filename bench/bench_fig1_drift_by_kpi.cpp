@@ -78,6 +78,7 @@ int main() {
       for (const auto& col : columns) row.push_back(fmt(col[i]));
       w.row(row);
     }
+    bench::require_ok(w);
 
     // 3-week inset (the paper's box-selected weekly view): report the
     // 7-day autocorrelation of the first family's NRMSE as the weekly

@@ -111,5 +111,7 @@ int main() {
   std::printf("\npaper finding: models trained on more recent periods do not "
               "necessarily perform better (note non-monotone bars,\n"
               "especially windows inside the 2020 lockdown).\n");
+  bench::require_ok(wa);
+  bench::require_ok(wb);
   return 0;
 }

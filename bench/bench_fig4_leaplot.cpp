@@ -104,6 +104,7 @@ int main() {
 
     auto w = bench::csv("fig4_leaplot_group" + std::to_string(g + 1) + ".csv");
     for (const auto& row : leaplot.csv_rows()) w.row(row);
+    bench::require_ok(w);
 
     // Quantify the paper's "10x training error in the 0.6e6-1.3e6 range"
     // claim structurally: mean per-bin error ratio early2022/train over

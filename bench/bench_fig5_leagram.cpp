@@ -78,6 +78,7 @@ void dump_csv(const explain::LeaGram& g, const std::string& file) {
     }
     w.row(row);
   }
+  leaf::bench::require_ok(w);
 }
 
 /// Mean NE over finite cells of one calendar window (for the lockdown

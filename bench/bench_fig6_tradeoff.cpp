@@ -54,5 +54,6 @@ int main() {
   std::printf("\npaper Fig. 6 shape: LEAF points sit at/below the baselines "
               "with fewer retrains than Naive30 (39); Naive90 (13) is "
               "cheap but weak; triggered is unsafe for GDR.\n");
+  bench::require_ok(w);
   return 0;
 }

@@ -62,6 +62,7 @@ int main() {
     for (std::size_t i = 0; i < s.days.size(); ++i)
       w.row({cal::day_to_string(s.days[i]), fmt(s.nrmse[i]),
              i < l.nrmse.size() ? fmt(l.nrmse[i]) : ""});
+    bench::require_ok(w);
   }
   return 0;
 }

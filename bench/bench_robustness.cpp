@@ -1,0 +1,154 @@
+// bench_robustness — graceful degradation under telemetry faults.
+//
+// The paper's deployment survives a six-month PU collection outage; a
+// production LEAF must survive the rest of the telemetry fault taxonomy
+// too (record dropout, NaN/spike/stuck-at-zero corruption, duplicates,
+// late delivery) without mistaking data loss for concept drift.  This
+// bench sweeps fault rate x mitigation scheme with the ingest layer ON
+// (validator + imputation + health-gated evaluation) and OFF (records
+// believed verbatim), and emits the ΔNRMSE̅-vs-fault-rate curves:
+//
+//   * unguarded triggered/LEAF retraining thrashes — the detector fires on
+//     corruption and outage artifacts, retraining on poisoned windows;
+//   * guarded runs degrade smoothly with fault rate, keep every NRMSE
+//     value finite, and freeze detection inside the declared outage.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+#include "ingest/fault.hpp"
+#include "ingest/pipeline.hpp"
+
+using namespace leaf;
+
+namespace {
+
+double finite_mean(const std::vector<double>& xs) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (double v : xs)
+    if (std::isfinite(v)) { acc += v; ++n; }
+  return n > 0 ? acc / static_cast<double>(n)
+               : std::numeric_limits<double>::quiet_NaN();
+}
+
+int nonfinite_count(const std::vector<double>& xs) {
+  return static_cast<int>(std::count_if(
+      xs.begin(), xs.end(), [](double v) { return !std::isfinite(v); }));
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::from_env();
+  bench::banner("Robustness (ext.)",
+                "ΔNRMSE̅ vs telemetry fault rate, guarded (leaf::ingest) vs "
+                "unguarded, Fixed dataset, GBDT",
+                scale);
+
+  const data::CellularDataset ds = data::generate_fixed_dataset(scale);
+  const data::TargetKpi target = data::TargetKpi::kDVol;
+  const int target_col = ds.schema().target_column(target);
+  const double dispersion = core::kpi_dispersion(ds, target);
+  // All arms normalize NRMSE by the clean dataset's target range; a faulted
+  // dataset's own range is inflated by surviving spikes, which would make
+  // corrupted runs look spuriously better.
+  const double clean_norm_range = data::Featurizer(ds, target).norm_range();
+  const auto prototype = models::make_model(models::ModelFamily::kGbdt, scale, 7);
+
+  const std::vector<double> rates = {0.0, 0.02, 0.05, 0.10, 0.20};
+  const std::vector<std::string> schemes = {"Static", "Triggered", "LEAF"};
+
+  auto w = bench::csv("robustness.csv");
+  w.row({"kpi", "scheme", "guarded", "fault_rate", "avg_nrmse",
+         "delta_vs_clean_static_pct", "nonfinite_nrmse", "retrains",
+         "drift_detections", "drifts_in_outage", "frozen_detector_days",
+         "values_imputed", "quarantined_records", "records_synthesized",
+         "outage_days_detected"});
+
+  double clean_static_nrmse = 0.0;
+  for (double rate : rates) {
+    ingest::FaultSpec spec = ingest::FaultSpec::at_rate(rate, 1234);
+    if (rate > 0.0) {
+      // Declared sensor outage mirroring the paper's PU loss window.
+      spec.outage_column = target_col;
+      spec.outage_start = cal::pu_loss_start();
+      spec.outage_end = cal::pu_loss_end();
+    }
+    const auto stream = ingest::inject_faults(ds, spec);
+
+    // Guarded arm: validate/impute/health-gate, then evaluate with the
+    // detector frozen wherever the target KPI is in OUTAGE.
+    const ingest::IngestResult ing = ingest::ingest_stream(ds, stream);
+    const auto& health = ing.kpi_health[static_cast<std::size_t>(target_col)];
+    // Unguarded arm: believe the records verbatim.
+    const data::CellularDataset raw = ingest::rebuild_unvalidated(ds, stream);
+
+    std::printf("\n--- fault rate %.0f%% (imputed %lld, quarantined %lld+%lld, "
+                "synthesized %lld, outage days detected %d) ---\n",
+                rate * 100.0, static_cast<long long>(ing.report.values_imputed),
+                static_cast<long long>(ing.report.quarantined_records),
+                static_cast<long long>(ing.report.quarantined_values),
+                static_cast<long long>(ing.report.records_synthesized),
+                ing.outage_days(target_col));
+    TextTable t({"Scheme", "Guard", "NRMSE", "dNRMSE% vs clean", "#Retrain",
+                 "#Drift", "drift@outage", "NaN rows"});
+
+    for (const bool guarded : {false, true}) {
+      const data::CellularDataset& eval_ds = guarded ? ing.clean : raw;
+      const data::Featurizer featurizer(eval_ds, target);
+      for (const std::string& name : schemes) {
+        core::EvalConfig cfg = core::make_eval_config(scale);
+        cfg.norm_range_override = clean_norm_range;
+        cfg.guard_nonfinite = guarded;
+        if (guarded) {
+          cfg.target_health = health;
+          cfg.ingest_report = &ing.report;
+        }
+        const auto scheme = core::make_scheme(name, dispersion);
+        const core::EvalResult run =
+            core::run_scheme(featurizer, *prototype, *scheme, cfg);
+
+        const double avg = finite_mean(run.nrmse);
+        if (rate == 0.0 && !guarded && name == "Static")
+          clean_static_nrmse = avg;
+        const double delta = clean_static_nrmse > 0.0
+                                 ? (avg - clean_static_nrmse) /
+                                       clean_static_nrmse * 100.0
+                                 : 0.0;
+        int drifts_in_outage = 0;
+        for (int d : run.drift_days)
+          if (rate > 0.0 && d >= spec.outage_start && d <= spec.outage_end)
+            ++drifts_in_outage;
+
+        t.add_row({name, guarded ? "ingest" : "none", fmt(avg), fmt_pct(delta),
+                   std::to_string(run.retrain_count()),
+                   std::to_string(run.drift_days.size()),
+                   std::to_string(drifts_in_outage),
+                   std::to_string(nonfinite_count(run.nrmse))});
+        w.row({data::to_string(target), name, guarded ? "1" : "0", fmt(rate),
+               fmt(avg), fmt(delta), fmt(nonfinite_count(run.nrmse)),
+               fmt(run.retrain_count()), fmt(run.drift_days.size()),
+               fmt(drifts_in_outage), fmt(run.degraded.frozen_detector_days),
+               fmt(static_cast<double>(run.degraded.values_imputed)),
+               fmt(static_cast<double>(run.degraded.quarantined_records)),
+               fmt(static_cast<double>(ing.report.records_synthesized)),
+               fmt(ing.outage_days(target_col))});
+      }
+    }
+    std::printf("%s", t.render().c_str());
+  }
+
+  std::printf("\nexpected shape: guarded curves rise gently with fault rate "
+              "with zero non-finite NRMSE rows and zero drift detections "
+              "inside the declared outage; unguarded triggered/LEAF retrain "
+              "counts inflate as corruption and the outage masquerade as "
+              "drift.\n");
+  bench::require_ok(w);
+  return 0;
+}

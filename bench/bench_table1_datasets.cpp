@@ -51,5 +51,6 @@ int main() {
            std::to_string(ds->num_days()), std::to_string(ds->num_kpis()),
            std::to_string(ds->total_logs())});
   }
+  bench::require_ok(w);
   return 0;
 }

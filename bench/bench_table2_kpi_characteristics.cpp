@@ -125,6 +125,7 @@ void report(const data::CellularDataset& ds, const char* table_id) {
            fmt(chars[i].skewness), fmt(chars[i].loss_zero_fraction),
            fmt(data::paper_dispersion(k, ds.evolving()))});
   }
+  bench::require_ok(w);
 }
 
 }  // namespace

@@ -67,5 +67,6 @@ int main() {
               "  365d:  -2.27  -5.13 -10.65 -11.53  +5.97  +6.07  (3)\n"
               "expected shape: frequency helps DVol/DTP/REst monotonically; "
               "CDR/GDR rows contain positive (worse-than-static) entries.\n");
+  bench::require_ok(w);
   return 0;
 }

@@ -74,5 +74,6 @@ int main() {
       "  GDR:  +3.37(39)  -4.20(13) +44.56(17)  -6.24(19) -> LEAF best\n"
       "expected: LEAF best/near-best for boosting+bagging, always negative; "
       "baselines go positive on CDR/GDR; KNN is LEAF's weak spot.\n");
+  bench::require_ok(w);
   return 0;
 }

@@ -74,5 +74,6 @@ int main() {
               "  Evolv GDR:  -13.21(15)  -2.06(13) -11.99(17)\n"
               "expected: LEAF/LEAF* effectiveness consistent across both "
               "datasets; triggered improves on Evolving.\n");
+  bench::require_ok(w);
   return 0;
 }

@@ -50,5 +50,6 @@ int main() {
               "reductions for the low-dispersion KPIs and PU); CDR/GDR only "
               "slightly improved.\nexpected: biggest relative reductions on "
               "DVol/PU/DTP/REst; small or no reduction on CDR/GDR.\n");
+  bench::require_ok(w);
   return 0;
 }

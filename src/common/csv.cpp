@@ -4,7 +4,18 @@
 
 namespace leaf {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {}
+
+bool CsvWriter::finish() {
+  if (out_.is_open()) out_.flush();
+  return ok();
+}
+
+std::string CsvWriter::error() const {
+  if (ok()) return {};
+  return "csv write failed: " + path_ +
+         " (disk full, unwritable directory, or closed stream)";
+}
 
 void CsvWriter::write_field(std::string_view f, bool first) {
   if (!first) out_ << ',';

@@ -17,7 +17,18 @@ class CsvWriter {
   /// of throwing so benches can degrade to stdout-only.
   explicit CsvWriter(const std::string& path);
 
+  /// True while every write so far has succeeded (stream errors are
+  /// sticky, so a full disk or vanished directory makes this false for
+  /// good — silent truncated CSVs were a real failure mode).
   bool ok() const { return static_cast<bool>(out_); }
+  /// The path this writer targets, for error reporting.
+  const std::string& path() const { return path_; }
+
+  /// Flushes and reports whether the whole file made it to disk.  Call at
+  /// end of life; `error()` names the path on failure.
+  bool finish();
+  /// Empty when ok; otherwise a one-line description carrying the path.
+  std::string error() const;
 
   /// Writes one row; fields are quoted only when they contain separators.
   void row(std::initializer_list<std::string_view> fields);
@@ -28,6 +39,7 @@ class CsvWriter {
 
  private:
   void write_field(std::string_view f, bool first);
+  std::string path_;
   std::ofstream out_;
 };
 

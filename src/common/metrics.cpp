@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -22,12 +23,25 @@ double rmse(std::span<const double> pred, std::span<const double> truth) {
 
 double nrmse(std::span<const double> pred, std::span<const double> truth,
              double norm_range) {
-  assert(norm_range > 0.0);
-  return rmse(pred, truth) / norm_range;
+  assert(pred.size() == truth.size());
+  if (!(norm_range > 0.0) || !std::isfinite(norm_range))
+    return std::numeric_limits<double>::quiet_NaN();
+  if (pred.empty()) return 0.0;
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (!std::isfinite(pred[i]) || !std::isfinite(truth[i])) continue;
+    const double d = pred[i] - truth[i];
+    acc += d * d;
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return std::sqrt(acc / static_cast<double>(n)) / norm_range;
 }
 
 double normalized_error(double pred, double truth, double norm_range) {
-  assert(norm_range > 0.0);
+  if (!(norm_range > 0.0) || !std::isfinite(norm_range))
+    return std::numeric_limits<double>::quiet_NaN();
   return (pred - truth) / norm_range;
 }
 

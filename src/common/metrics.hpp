@@ -19,13 +19,17 @@ double rmse(std::span<const double> pred, std::span<const double> truth);
 /// RMSE / norm_range (the max-min of the target over the dataset).
 /// "NRMSE scores under 0.1 ... indicate that the regression model has very
 /// good prediction power."
+/// Robust to dirty telemetry: pairs with a non-finite value on either side
+/// are excluded, so a single corrupt sample cannot poison the error
+/// series.  Returns NaN when no finite pair remains or norm_range is not a
+/// positive finite number (callers guard; see core::DegradedStats).
 double nrmse(std::span<const double> pred, std::span<const double> truth,
              double norm_range);
 
 /// Signed per-sample Normalized Error (pred - truth) / norm_range: the
 /// LEAgram metric, where positive = overestimation (unnecessary
 /// infrastructure spend) and negative = underestimation (user
-/// dissatisfaction).
+/// dissatisfaction).  NaN when the inputs or norm_range are unusable.
 double normalized_error(double pred, double truth, double norm_range);
 
 /// Mean absolute error.

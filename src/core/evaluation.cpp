@@ -1,8 +1,9 @@
 #include "core/evaluation.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "common/calendar.hpp"
 #include "common/metrics.hpp"
@@ -11,6 +12,22 @@
 namespace leaf::core {
 
 double EvalResult::avg_nrmse() const { return stats::mean(nrmse); }
+
+namespace {
+
+/// OUTAGE on either the day being scored or the day its features came
+/// from means the step's error is dominated by collection loss, not by
+/// the model: the detector must not see it.
+bool outage_at_step(std::span<const ingest::HealthState> health, int day,
+                    int horizon) {
+  const auto state_at = [&health](int d) {
+    return d >= 0 && d < static_cast<int>(health.size()) &&
+           health[static_cast<std::size_t>(d)] == ingest::HealthState::kOutage;
+  };
+  return !health.empty() && (state_at(day) || state_at(day - horizon));
+}
+
+}  // namespace
 
 EvalResult run_scheme(const data::Featurizer& featurizer,
                       const models::Regressor& prototype,
@@ -23,14 +40,25 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
 
   const int anchor =
       cfg.anchor_day >= 0 ? cfg.anchor_day : cal::anchor_2018_07_01();
-  const double norm_range = featurizer.norm_range();
+  const double norm_range = cfg.norm_range_override > 0.0
+                                ? cfg.norm_range_override
+                                : featurizer.norm_range();
   const int num_days = featurizer.dataset().num_days();
 
   // Initial model: trained on the `train_window` days ending at the
   // anchor.
   data::SupervisedSet train =
       featurizer.window(anchor - cfg.train_window + 1, anchor);
-  assert(!train.empty() && "anchor window produced no training pairs");
+  if (train.empty()) {
+    throw std::runtime_error(
+        "run_scheme: training window [" +
+        cal::day_to_string(anchor - cfg.train_window + 1) + " .. " +
+        cal::day_to_string(anchor) + "] (anchor day " + std::to_string(anchor) +
+        ", " + std::to_string(cfg.train_window) +
+        " days) produced no supervised pairs — no eNodeB reports on both a "
+        "feature day and its +"
+        + std::to_string(cfg.horizon) + "-day target day");
+  }
   std::unique_ptr<models::Regressor> model = prototype.clone_untrained();
   model->fit(train.X, train.y);
 
@@ -45,22 +73,47 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
 
   for (int day = first_eval; day < num_days; day += cfg.stride) {
     const data::SupervisedSet test = featurizer.at_target_day(day);
-    if (static_cast<int>(test.size()) < cfg.min_samples_per_day) continue;
+    if (static_cast<int>(test.size()) < cfg.min_samples_per_day) {
+      ++result.degraded.days_skipped;
+      continue;
+    }
 
     const std::vector<double> pred = model->predict(test.X);
     const double err = metrics::nrmse(pred, test.y, norm_range);
+    if (cfg.guard_nonfinite && !std::isfinite(err)) {
+      // A corrupt test slice must poison neither the NRMSE series nor the
+      // detector window; the step is skipped and accounted for.
+      ++result.degraded.nonfinite_errors;
+      if (observer) observer(day, err, false, false);
+      continue;
+    }
+    // Collection outage on this step: labels and/or features are imputed
+    // placeholders, so the error measures data loss, not the model.  The
+    // step is not scored, the detector is frozen (no update, no
+    // truncation), and the scheme is suppressed so the outage cannot
+    // trigger a retrain on a fabricated window.
+    if (outage_at_step(cfg.target_health, day, cfg.horizon)) {
+      ++result.degraded.frozen_detector_days;
+      ++result.degraded.suppressed_retrains;
+      if (observer) observer(day, err, false, false);
+      continue;
+    }
     if (sink) sink(day, test, pred);
 
     double ne_acc = 0.0;
+    std::size_t ne_count = 0;
     for (std::size_t i = 0; i < test.size(); ++i) {
       const double ne = metrics::normalized_error(pred[i], test.y[i], norm_range);
+      if (cfg.guard_nonfinite && !std::isfinite(ne)) continue;
       ne_acc += ne;
+      ++ne_count;
       abs_ne_samples.push_back(std::abs(ne));
     }
 
     result.days.push_back(day);
     result.nrmse.push_back(err);
-    result.mean_ne.push_back(ne_acc / static_cast<double>(test.size()));
+    result.mean_ne.push_back(
+        ne_count > 0 ? ne_acc / static_cast<double>(ne_count) : 0.0);
 
     const bool drift = detector.update(err);
     if (drift) result.drift_days.push_back(day);
@@ -94,6 +147,10 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
 
   result.ne_p95 =
       abs_ne_samples.empty() ? 0.0 : stats::quantile(abs_ne_samples, 0.95);
+  if (cfg.ingest_report != nullptr) {
+    result.degraded.values_imputed = cfg.ingest_report->values_imputed;
+    result.degraded.quarantined_records = cfg.ingest_report->quarantined_records;
+  }
   return result;
 }
 

@@ -12,14 +12,18 @@
 // against the Static run — the ΔNRMSE̅ values in every evaluation table.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/scheme.hpp"
 #include "data/features.hpp"
 #include "drift/kswin.hpp"
+#include "ingest/health.hpp"
+#include "ingest/pipeline.hpp"
 #include "models/regressor.hpp"
 
 namespace leaf::core {
@@ -39,6 +43,41 @@ struct EvalConfig {
   /// Skip evaluation days with fewer pairs than this (degenerate NRMSE).
   int min_samples_per_day = 3;
   std::uint64_t seed = 2024;
+
+  // --- graceful degradation (leaf::ingest integration) --------------------
+  /// Day-indexed health of the *target KPI* from the ingest pipeline.
+  /// When provided, any evaluation step whose target day or feature day is
+  /// in OUTAGE freezes the drift detector and suppresses retraining, so a
+  /// collection outage is not misread as concept drift.  Empty = no guard.
+  std::span<const ingest::HealthState> target_health = {};
+  /// Suppress non-finite NRMSE values (skip the step, count it) instead of
+  /// poisoning the series and the detector.  On by default; the robustness
+  /// bench turns it off for its "unguarded" arm.
+  bool guard_nonfinite = true;
+  /// Optional ingest report whose quarantine/imputation counters are
+  /// copied into EvalResult::degraded for end-to-end visibility.
+  const ingest::IngestReport* ingest_report = nullptr;
+  /// NRMSE normalization range override (<= 0: use the featurizer's own
+  /// target range).  Runs over repaired or corrupted datasets must share
+  /// the clean dataset's range, or a surviving spike silently deflates
+  /// every error it normalizes.
+  double norm_range_override = 0.0;
+};
+
+/// What the graceful-degradation guards did during a run (all zero on a
+/// clean stream with no guards tripped).
+struct DegradedStats {
+  int days_skipped = 0;           ///< eval days skipped (no / degenerate data)
+  int nonfinite_errors = 0;       ///< non-finite NRMSE values suppressed
+  int frozen_detector_days = 0;   ///< steps with the detector frozen (OUTAGE)
+  int suppressed_retrains = 0;    ///< scheme steps bypassed during OUTAGE
+  std::int64_t values_imputed = 0;       ///< from the ingest report
+  std::int64_t quarantined_records = 0;  ///< from the ingest report
+
+  bool any() const {
+    return days_skipped || nonfinite_errors || frozen_detector_days ||
+           suppressed_retrains || values_imputed || quarantined_records;
+  }
 };
 
 struct EvalResult {
@@ -55,6 +94,8 @@ struct EvalResult {
   /// 95th percentile of |NE| across all evaluated samples (Table 7 tracks
   /// the 95th percentile of normalized error).
   double ne_p95 = 0.0;
+  /// Graceful-degradation accounting (see DegradedStats).
+  DegradedStats degraded;
 };
 
 /// Optional per-step observer (used by benches that dump time-series).

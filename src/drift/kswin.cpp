@@ -1,6 +1,7 @@
 #include "drift/kswin.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -14,6 +15,9 @@ Kswin::Kswin(KswinConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 }
 
 bool Kswin::update(double value) {
+  // Dirty telemetry guard: a NaN/Inf error value would contaminate the KS
+  // window for `window_size` subsequent steps; drop it at the door.
+  if (!std::isfinite(value)) return false;
   window_.push_back(value);
   if (static_cast<int>(window_.size()) > cfg_.window_size)
     window_.pop_front();

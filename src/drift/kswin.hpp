@@ -27,6 +27,9 @@ class Kswin final : public DriftDetector {
  public:
   explicit Kswin(KswinConfig cfg = {});
 
+  /// Feeds one error value.  Non-finite values are ignored (they signal a
+  /// telemetry fault, not a distribution change) and never enter the
+  /// window.
   bool update(double value) override;
   void reset() override;
   std::string name() const override { return "KSWIN"; }

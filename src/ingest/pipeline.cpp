@@ -1,0 +1,202 @@
+#include "ingest/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leaf::ingest {
+
+int IngestResult::outage_days(int column) const {
+  const auto& series = kpi_health[static_cast<std::size_t>(column)];
+  return static_cast<int>(
+      std::count(series.begin(), series.end(), HealthState::kOutage));
+}
+
+IngestResult ingest_stream(const data::CellularDataset& like,
+                           std::vector<TelemetryRecord> stream,
+                           const IngestConfig& cfg) {
+  const int num_days = like.num_days();
+  const int num_kpis = like.num_kpis();
+  const int num_enbs = static_cast<int>(like.profiles().size());
+  const std::size_t k = static_cast<std::size_t>(num_kpis);
+
+  IngestResult res{
+      data::CellularDataset(like.schema(), like.profiles(), num_days,
+                            like.evolving(), like.name() + "-ingested"),
+      {}, {}, {}};
+  IngestReport& rep = res.report;
+  rep.records_in = static_cast<std::int64_t>(stream.size());
+
+  // --- re-sequencing: count late arrivals, re-slot by claimed day ----------
+  int max_day_seen = -1;
+  for (const TelemetryRecord& r : stream) {
+    if (r.day < max_day_seen) ++rep.late_records;
+    max_day_seen = std::max(max_day_seen, r.day);
+  }
+  // Records claiming a day outside the study can never be slotted.
+  const auto bad_day = [num_days](const TelemetryRecord& r) {
+    return r.day < 0 || r.day >= num_days;
+  };
+  rep.quarantined_records += static_cast<std::int64_t>(
+      std::count_if(stream.begin(), stream.end(), bad_day));
+  stream.erase(std::remove_if(stream.begin(), stream.end(), bad_day),
+               stream.end());
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const TelemetryRecord& a, const TelemetryRecord& b) {
+                     return a.day < b.day ||
+                            (a.day == b.day && a.enb_index < b.enb_index);
+                   });
+
+  // --- plausibility bounds from the leading slice --------------------------
+  std::vector<std::vector<double>> reference(k);
+  for (const TelemetryRecord& r : stream) {
+    if (r.day >= cfg.bounds_fit_days) break;
+    for (std::size_t c = 0; c < k && c < r.kpis.size(); ++c)
+      reference[c].push_back(static_cast<double>(r.kpis[c]));
+  }
+  const KpiBounds bounds = fit_bounds(reference, cfg.validator);
+
+  // --- day-by-day validate / impute / track health --------------------------
+  Imputer imputer(num_enbs, num_kpis, cfg.validator);
+  std::vector<HealthTracker> kpi_tracker(k, HealthTracker(cfg.health));
+  std::vector<HealthTracker> enb_tracker(static_cast<std::size_t>(num_enbs),
+                                         HealthTracker(cfg.health));
+  res.kpi_health.assign(k, HealthSeries(static_cast<std::size_t>(num_days),
+                                        HealthState::kOk));
+  res.enb_health.assign(static_cast<std::size_t>(num_enbs),
+                        HealthSeries(static_cast<std::size_t>(num_days),
+                                     HealthState::kOk));
+  std::vector<int> last_report_day(static_cast<std::size_t>(num_enbs), -1);
+
+  struct DayRecord {
+    const TelemetryRecord* rec = nullptr;  ///< accepted delivery, or null
+    std::vector<bool> good;                ///< per-column plausibility
+    int good_count = 0;
+  };
+  std::vector<DayRecord> slots(static_cast<std::size_t>(num_enbs));
+  std::vector<int> valid_per_col(k, 0);
+  std::vector<double> row(k, 0.0);
+
+  std::size_t pos = 0;
+  for (int d = 0; d < num_days; ++d) {
+    imputer.begin_day(d);
+    for (auto& s : slots) s.rec = nullptr;
+    std::fill(valid_per_col.begin(), valid_per_col.end(), 0);
+
+    // Pass 1: accept the first delivery per eNodeB, validate values, and
+    // feed every plausible value to the imputer (so group-median and the
+    // seasonal ring see the full day's cross-section before any imputation).
+    bool any_arrival = false;
+    while (pos < stream.size() && stream[pos].day == d) {
+      const TelemetryRecord& r = stream[pos++];
+      if (r.enb_index < 0 || r.enb_index >= num_enbs ||
+          r.kpis.size() != k) {
+        ++rep.quarantined_records;
+        continue;
+      }
+      any_arrival = true;
+      DayRecord& slot = slots[static_cast<std::size_t>(r.enb_index)];
+      if (slot.rec != nullptr) {
+        ++rep.duplicates_dropped;
+        continue;
+      }
+      slot.rec = &r;
+      slot.good.assign(k, false);
+      slot.good_count = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double v = static_cast<double>(r.kpis[c]);
+        if (bounds.plausible(static_cast<int>(c), v)) {
+          slot.good[c] = true;
+          ++slot.good_count;
+        }
+      }
+      // Too corrupt to trust any of it: reject wholesale.
+      if (static_cast<double>(k - static_cast<std::size_t>(slot.good_count)) >
+          cfg.validator.record_reject_fraction * static_cast<double>(k)) {
+        slot.rec = nullptr;
+        ++rep.quarantined_records;
+        continue;
+      }
+      rep.quarantined_values +=
+          static_cast<std::int64_t>(k) - slot.good_count;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (slot.good[c]) {
+          imputer.observe(r.enb_index, static_cast<int>(c),
+                          static_cast<double>(r.kpis[c]));
+          ++valid_per_col[c];
+        }
+      }
+      last_report_day[static_cast<std::size_t>(r.enb_index)] = d;
+    }
+    if (!any_arrival) ++rep.days_missing;
+
+    // Pass 2: emit the day — repair partial records, synthesize short gaps.
+    std::vector<int> out_enbs;
+    std::vector<float> out_values;
+    int expected = 0;
+    for (int e = 0; e < num_enbs; ++e) {
+      const bool installed =
+          like.profiles()[static_cast<std::size_t>(e)].install_day <= d;
+      if (!installed) {
+        res.enb_health[static_cast<std::size_t>(e)][static_cast<std::size_t>(d)] =
+            enb_tracker[static_cast<std::size_t>(e)].state();
+        continue;
+      }
+      ++expected;
+      DayRecord& slot = slots[static_cast<std::size_t>(e)];
+      bool emit = false;
+      if (slot.rec != nullptr) {
+        emit = true;
+        for (std::size_t c = 0; c < k; ++c) {
+          if (slot.good[c]) {
+            row[c] = static_cast<double>(slot.rec->kpis[c]);
+          } else {
+            const double v = imputer.impute(e, static_cast<int>(c));
+            if (!std::isfinite(v)) { emit = false; break; }
+            row[c] = v;
+            ++rep.values_imputed;
+          }
+        }
+        if (!emit) ++rep.quarantined_records;  // unrepairable record
+      } else if (last_report_day[static_cast<std::size_t>(e)] >= 0 &&
+                 d - last_report_day[static_cast<std::size_t>(e)] <=
+                     cfg.validator.staleness_cap_days) {
+        // Wholly missing but recently seen: synthesize one record.  Long
+        // gaps stay honest — the eNodeB simply drops out of the day.
+        emit = true;
+        for (std::size_t c = 0; c < k; ++c) {
+          const double v = imputer.impute(e, static_cast<int>(c));
+          if (!std::isfinite(v)) { emit = false; break; }
+          row[c] = v;
+        }
+        if (emit) {
+          rep.values_imputed += static_cast<std::int64_t>(k);
+          ++rep.records_synthesized;
+        }
+      }
+      if (emit) {
+        out_enbs.push_back(e);
+        for (std::size_t c = 0; c < k; ++c)
+          out_values.push_back(static_cast<float>(row[c]));
+        ++rep.records_out;
+      }
+      const double enb_frac =
+          slot.rec != nullptr
+              ? static_cast<double>(slot.good_count) / static_cast<double>(k)
+              : 0.0;
+      res.enb_health[static_cast<std::size_t>(e)][static_cast<std::size_t>(d)] =
+          enb_tracker[static_cast<std::size_t>(e)].step(enb_frac);
+    }
+    res.clean.append_day(std::move(out_enbs), std::move(out_values));
+
+    for (std::size_t c = 0; c < k; ++c) {
+      const double frac =
+          expected > 0 ? static_cast<double>(valid_per_col[c]) /
+                             static_cast<double>(expected)
+                       : 0.0;
+      res.kpi_health[c][static_cast<std::size_t>(d)] = kpi_tracker[c].step(frac);
+    }
+  }
+  return res;
+}
+
+}  // namespace leaf::ingest

@@ -1,0 +1,119 @@
+// Record validation, quarantine, and imputation for telemetry ingest.
+//
+// The validator owns per-KPI plausibility bounds (learned from a reference
+// slice of the stream with robust quantiles plus headroom) and decides,
+// value by value, whether a delivered KPI is usable.  Implausible values —
+// NaN/Inf, negative counters, wrap-around spikes — are *quarantined* and
+// replaced through a configurable imputation policy; records with too many
+// quarantined columns are rejected wholesale and treated as missing.
+//
+// Three imputation policies cover the spectrum real pipelines use:
+//   * carry-forward   — repeat the eNodeB's last good value, but only while
+//                       it is fresher than `staleness_cap_days` (a stale
+//                       carry is worse than an honest gap);
+//   * seasonal-naive  — the eNodeB's good value one `seasonal_period` ago
+//                       (weekly periodicity is the strongest KPI signal);
+//   * group-median    — median of the same KPI across the eNodeBs that did
+//                       report today (fleet-level cross-section).
+// Each policy falls back down the chain (policy → carry-forward → fleet
+// running median) so a partially-corrupt record can always be completed;
+// wholly-missing records are only synthesized while carry-forward is
+// fresh.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/kpi.hpp"
+
+namespace leaf::ingest {
+
+enum class ImputePolicy : std::uint8_t {
+  kCarryForward,
+  kSeasonalNaive,
+  kGroupMedian,
+};
+
+std::string to_string(ImputePolicy p);
+
+struct ValidatorConfig {
+  /// Robust quantiles of the reference slice that anchor the bounds.
+  double bound_quantile_lo = 0.001;
+  double bound_quantile_hi = 0.999;
+  /// Headroom multiplier applied above the high anchor (KPIs grow over the
+  /// study; bounds must not quarantine organic growth).
+  double bound_headroom = 8.0;
+  /// Records with more than this fraction of quarantined columns are
+  /// rejected wholesale.
+  double record_reject_fraction = 0.5;
+
+  ImputePolicy policy = ImputePolicy::kCarryForward;
+  /// Carry-forward refuses values older than this many days.
+  int staleness_cap_days = 7;
+  /// Period for the seasonal-naive policy (weekly).
+  int seasonal_period = 7;
+};
+
+/// Per-column [lo, hi] plausibility bounds.
+struct KpiBounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  bool fitted() const { return !lo.empty(); }
+  /// Finite and inside [lo, hi] for the column.
+  bool plausible(int column, double v) const;
+};
+
+/// Learns bounds from per-column samples (one vector per KPI column) using
+/// the config's robust quantiles + headroom.  Non-finite samples are
+/// ignored; columns with no finite samples accept any finite value.
+KpiBounds fit_bounds(const std::vector<std::vector<double>>& column_samples,
+                     const ValidatorConfig& cfg);
+
+/// Stateful imputer: tracks each (eNodeB, column) last-good value and age,
+/// the per-column fleet running median, and the per-day cross-section, and
+/// produces replacement values per the configured policy.  Days must be
+/// fed in order.
+class Imputer {
+ public:
+  Imputer(int num_enbs, int num_kpis, const ValidatorConfig& cfg);
+
+  /// Starts a new day; `day` must increase between calls.
+  void begin_day(int day);
+  /// Registers a validated good value (also feeds the cross-section).
+  void observe(int enb, int column, double v);
+  /// Replacement value for a quarantined / missing (enb, column), or NaN
+  /// when no policy (and no fallback) can produce one.
+  double impute(int enb, int column) const;
+  /// True while carry-forward for (enb, column) is within the staleness
+  /// cap — the gate for synthesizing wholly-missing records.
+  bool carry_fresh(int enb, int column) const;
+
+ private:
+  double carry_forward(int enb, int column) const;
+  double seasonal(int enb, int column) const;
+  double group_median(int column) const;
+
+  std::size_t cell(int enb, int column) const {
+    return static_cast<std::size_t>(enb) * static_cast<std::size_t>(num_kpis_) +
+           static_cast<std::size_t>(column);
+  }
+
+  ValidatorConfig cfg_;
+  int num_enbs_;
+  int num_kpis_;
+  int day_ = -1;
+
+  // Flat (enb * num_kpis + column) state.
+  std::vector<float> last_val_;  ///< last good value
+  std::vector<int> last_day_;    ///< day of the last good value (-1 = none)
+  // Ring of one seasonal period per cell: slot (cell * period + day % period).
+  std::vector<float> ring_val_;
+  std::vector<int> ring_day_;
+  std::vector<std::vector<double>> today_;  ///< per-column day cross-section
+  std::vector<float> fleet_median_;  ///< per-column frugal median estimate
+  std::vector<bool> fleet_median_seen_;
+};
+
+}  // namespace leaf::ingest

@@ -1,6 +1,7 @@
 // Unit tests for the drift detectors (drift/).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "common/rng.hpp"
@@ -112,6 +113,27 @@ TEST(Kswin, WindowTruncatesAfterDetection) {
     }
   }
   EXPECT_TRUE(detected);
+}
+
+TEST(Kswin, IgnoresNonFiniteValues) {
+  KswinConfig cfg;
+  cfg.window_size = 60;
+  cfg.stat_size = 20;
+  Kswin corrupted(cfg);
+  Kswin clean(cfg);
+  const auto stream = shifted_stream(400, 250, 0.3);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> hits_corrupted, hits_clean;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    // NaN/Inf interleaved must neither fire nor enter the window.
+    EXPECT_FALSE(corrupted.update(nan));
+    EXPECT_FALSE(corrupted.update(inf));
+    if (corrupted.update(stream[i])) hits_corrupted.push_back(i);
+    if (clean.update(stream[i])) hits_clean.push_back(i);
+  }
+  EXPECT_EQ(hits_corrupted, hits_clean);
+  EXPECT_EQ(corrupted.window_fill(), clean.window_fill());
 }
 
 TEST(Kswin, DetectsDistributionChangeWithoutMeanShift) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace leaf::metrics {
@@ -28,6 +29,34 @@ TEST(Metrics, NrmseNormalizesByRange) {
   const std::vector<double> p = {0.0};
   const std::vector<double> t = {10.0};
   EXPECT_DOUBLE_EQ(nrmse(p, t, 100.0), 0.1);
+}
+
+TEST(Metrics, NrmseSkipsNonFinitePairs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // Corrupt pairs are dropped; the remaining pair gives |0-10|/100 = 0.1.
+  const std::vector<double> p = {0.0, nan, 3.0};
+  const std::vector<double> t = {10.0, 2.0, inf};
+  EXPECT_DOUBLE_EQ(nrmse(p, t, 100.0), 0.1);
+}
+
+TEST(Metrics, NrmseAllPairsCorruptIsNan) {
+  const std::vector<double> p = {std::numeric_limits<double>::quiet_NaN()};
+  const std::vector<double> t = {1.0};
+  EXPECT_TRUE(std::isnan(nrmse(p, t, 100.0)));
+}
+
+TEST(Metrics, NrmseBadRangeIsNan) {
+  const std::vector<double> p = {0.0};
+  const std::vector<double> t = {10.0};
+  EXPECT_TRUE(std::isnan(nrmse(p, t, 0.0)));
+  EXPECT_TRUE(std::isnan(nrmse(p, t, -1.0)));
+  EXPECT_TRUE(
+      std::isnan(nrmse(p, t, std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(Metrics, NormalizedErrorBadRangeIsNan) {
+  EXPECT_TRUE(std::isnan(normalized_error(1.0, 2.0, 0.0)));
 }
 
 TEST(Metrics, NormalizedErrorSign) {

@@ -50,6 +50,27 @@ TEST(Csv, NumericRow) {
   EXPECT_EQ(slurp(path), "s,1,2.5\n");
 }
 
+TEST(Csv, UnwritablePathFailsLoudly) {
+  // A path whose parent directory does not exist cannot be opened.
+  const std::string path =
+      ::testing::TempDir() + "/no-such-dir-xyzzy/out.csv";
+  CsvWriter w(path);
+  EXPECT_FALSE(w.ok());
+  w.row({"a", "b"});  // writes to a dead stream must not crash
+  EXPECT_FALSE(w.finish());
+  // The error message names the offending path.
+  EXPECT_NE(w.error().find(path), std::string::npos) << w.error();
+}
+
+TEST(Csv, FinishReportsOkOnHealthyWriter) {
+  const std::string path = ::testing::TempDir() + "/t4.csv";
+  CsvWriter w(path);
+  w.row({"a"});
+  EXPECT_TRUE(w.finish());
+  EXPECT_EQ(w.path(), path);
+  EXPECT_EQ(slurp(path), "a\n");
+}
+
 TEST(Fmt, CompactDouble) {
   EXPECT_EQ(fmt(1.0), "1");
   EXPECT_EQ(fmt(0.123456789), "0.123457");
