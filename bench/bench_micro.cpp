@@ -2,12 +2,23 @@
 // dataset synthesis, model fit/predict, drift-detector updates, and the
 // explainer's LEA pass.  Not a paper artifact; used to budget the
 // experiment benches and catch performance regressions.
+//
+// After the google-benchmark suite, main() runs a LEAF_THREADS scaling
+// sweep (threads ∈ {1,2,4,8} × {forest fit, GBDT fit, permutation
+// importance, full run_scheme}) and writes the measured wall times and
+// speedups to $LEAF_BENCH_OUT/BENCH_parallel.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <functional>
+
+#include "bench_common.hpp"
 #include "common/calendar.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "core/experiment.hpp"
 #include "core/scheme.hpp"
 #include "data/generator.hpp"
 #include "drift/adwin.hpp"
@@ -16,6 +27,8 @@
 #include "explain/importance.hpp"
 #include "explain/lea.hpp"
 #include "models/factory.hpp"
+#include "models/forest.hpp"
+#include "par/pool.hpp"
 
 using namespace leaf;
 
@@ -155,6 +168,123 @@ void BM_PermutationImportance(benchmark::State& state) {
 }
 BENCHMARK(BM_PermutationImportance)->Unit(benchmark::kMillisecond);
 
+// --- LEAF_THREADS scaling sweep -------------------------------------------
+
+/// Best-of-3 wall time of fn, in milliseconds.
+double time_best_ms(const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct SweepWorkload {
+  const char* name;
+  std::function<void()> body;
+};
+
+void run_thread_sweep() {
+  const auto& p = Problem::get();
+  const Scale scale = Scale::for_level(Scale::Level::kSmall);
+
+  // A fitted model for the importance workload (fit once, score per rep).
+  const auto imp_model =
+      models::make_model(models::ModelFamily::kGbdt, scale, 1);
+  imp_model->fit(p.X, p.y);
+
+  // Tiny dataset for the end-to-end run_scheme workload.
+  Scale eval_scale = scale;
+  eval_scale.fixed_enbs = 6;
+  eval_scale.num_kpis = 16;
+  eval_scale.gbdt_trees = 15;
+  eval_scale.eval_stride_days = 4;
+  const data::CellularDataset ds =
+      data::generate_fixed_dataset(eval_scale, 42);
+  const data::Featurizer featurizer(ds, data::TargetKpi::kDVol);
+
+  const SweepWorkload workloads[] = {
+      {"forest_fit",
+       [&] {
+         models::Forest f(models::ForestConfig::random_forest(48, 7), "RF");
+         f.fit(p.X, p.y);
+         benchmark::DoNotOptimize(f.trained());
+       }},
+      {"gbdt_fit",
+       [&] {
+         const auto m =
+             models::make_model(models::ModelFamily::kGbdt, scale, 1);
+         m->fit(p.X, p.y);
+         benchmark::DoNotOptimize(m->trained());
+       }},
+      {"permutation_importance",
+       [&] {
+         Rng rng(9);
+         explain::ImportanceConfig cfg;
+         cfg.repeats = 2;
+         cfg.max_rows = 256;
+         benchmark::DoNotOptimize(explain::permutation_importance(
+             *imp_model, p.X, p.y, 1.0, rng, cfg));
+       }},
+      {"run_scheme",
+       [&] {
+         const auto m =
+             models::make_model(models::ModelFamily::kGbdt, eval_scale, 1);
+         core::TriggeredScheme scheme;
+         benchmark::DoNotOptimize(
+             core::run_scheme(featurizer, *m, scheme,
+                              core::make_eval_config(eval_scale))
+                 .retrain_count());
+       }},
+  };
+
+  const int sweep_threads[] = {1, 2, 4, 8};
+  std::printf("\nLEAF_THREADS scaling sweep (best-of-3 wall ms)\n");
+  std::printf("%-24s", "workload");
+  for (int t : sweep_threads) std::printf("  t=%-10d", t);
+  std::printf("\n");
+
+  std::ofstream json(bench::out_dir() + "/BENCH_parallel.json");
+  json << "{\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"workloads\": [\n";
+  bool first_wl = true;
+  for (const auto& wl : workloads) {
+    double serial_ms = 0.0;
+    std::printf("%-24s", wl.name);
+    if (!first_wl) json << ",\n";
+    first_wl = false;
+    json << "    {\"name\": \"" << wl.name << "\", \"runs\": [";
+    bool first_run = true;
+    for (int t : sweep_threads) {
+      par::set_threads(t);
+      const double ms = time_best_ms(wl.body);
+      if (t == 1) serial_ms = ms;
+      const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
+      std::printf("  %7.2f/%4.2fx", ms, speedup);
+      if (!first_run) json << ", ";
+      first_run = false;
+      json << "{\"threads\": " << t << ", \"ms\": " << ms
+           << ", \"speedup\": " << speedup << "}";
+    }
+    std::printf("\n");
+    json << "]}";
+  }
+  json << "\n  ]\n}\n";
+  par::set_threads(0);  // restore the LEAF_THREADS / hardware default
+  std::printf("wrote %s/BENCH_parallel.json\n", bench::out_dir().c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_thread_sweep();
+  return 0;
+}

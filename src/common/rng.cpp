@@ -41,6 +41,19 @@ Rng Rng::fork(std::uint64_t tag) {
   return Rng(mix);
 }
 
+Rng Rng::substream(std::uint64_t index) const {
+  // Fold the full 256-bit state down to one word, perturb it with the
+  // task counter, and run two SplitMix64 rounds for avalanche; the child
+  // constructor expands the result back into xoshiro state.  Pure
+  // function of (state, index): the parent stream is untouched.
+  std::uint64_t chain = state_[0] ^ rotl(state_[1], 17) ^ rotl(state_[2], 31) ^
+                        rotl(state_[3], 47);
+  chain ^= index * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  const std::uint64_t a = splitmix64(chain);
+  const std::uint64_t b = splitmix64(chain);
+  return Rng(a ^ rotl(b, 32));
+}
+
 double Rng::uniform() {
   // 53 random mantissa bits -> double in [0, 1).
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

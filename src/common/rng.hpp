@@ -49,6 +49,15 @@ class Rng {
   /// one draw.
   Rng fork(std::uint64_t tag = 0);
 
+  /// Counter-based sub-stream derivation for parallel work (leaf::par).
+  /// Unlike fork(), the parent does NOT advance: the child is a pure
+  /// function of the parent's current state and `index`, so a parallel
+  /// site can hand task i the generator `substream(i)` regardless of
+  /// which thread runs the task or in what order — distinct indices give
+  /// independent streams and the overall output is identical at any
+  /// thread count.
+  Rng substream(std::uint64_t index) const;
+
   /// Uniform double in [0, 1).
   double uniform();
   /// Uniform double in [lo, hi).

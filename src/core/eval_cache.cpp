@@ -1,0 +1,66 @@
+#include "core/eval_cache.hpp"
+
+namespace leaf::core {
+
+namespace {
+
+std::size_t payload_bytes(const data::SupervisedSet& s) {
+  return s.X.rows() * s.X.cols() * sizeof(double) +
+         s.size() * (sizeof(double) + 3 * sizeof(int));
+}
+
+data::SupervisedSet compute_day(const data::Featurizer& f, int day, int) {
+  return f.at_target_day(day);
+}
+
+data::SupervisedSet compute_window(const data::Featurizer& f, int first,
+                                   int last) {
+  return f.window(first, last);
+}
+
+std::uint64_t pair_key(int a, int b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+
+}  // namespace
+
+const data::SupervisedSet& EvalCache::memo(
+    Map& map, std::uint64_t key,
+    data::SupervisedSet (*compute)(const data::Featurizer&, int, int), int a,
+    int b) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = map.find(key);
+    if (it != map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return *it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto value = std::make_unique<const data::SupervisedSet>(
+      compute(*featurizer_, a, b));
+  const std::size_t cost = payload_bytes(*value);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = map.find(key);
+  if (it != map.end()) return *it->second;  // raced: keep the first insert
+  if (bytes_.load(std::memory_order_relaxed) + cost > max_bytes_) {
+    overflow_.push_back(std::move(value));
+    return *overflow_.back();
+  }
+  bytes_.fetch_add(cost, std::memory_order_relaxed);
+  return *map.emplace(key, std::move(value)).first->second;
+}
+
+const data::SupervisedSet& EvalCache::at_target_day(int day) {
+  return memo(by_day_, pair_key(day, 0), &compute_day, day, 0);
+}
+
+const data::SupervisedSet& EvalCache::window(int first_feature_day,
+                                             int last_feature_day) {
+  return memo(by_window_, pair_key(first_feature_day, last_feature_day),
+              &compute_window, first_feature_day, last_feature_day);
+}
+
+}  // namespace leaf::core

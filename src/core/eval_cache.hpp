@@ -1,0 +1,79 @@
+// Cross-run memoization of Featurizer slices (the evaluation hot path).
+//
+// A (models × schemes × seeds) experiment grid walks the same dataset
+// dozens of times: every run materializes the same per-target-day test
+// slices, and schemes that retrain rebuild training windows that
+// frequently coincide (Periodic schemes exactly; Triggered/LEAF whenever
+// detections align).  Featurizer::at_target_day / ::window are pure
+// functions of their arguments, so an EvalCache shared across runs
+// returns bit-identical data to recomputation — it is purely a speed
+// layer, safe to share between concurrently executing evaluations
+// (internally synchronized).
+//
+// Memory is bounded by `max_bytes` (approximate payload accounting): once
+// the budget is spent, further misses compute without memoizing, so the
+// cache degrades to pass-through instead of growing without bound at full
+// scale.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/features.hpp"
+
+namespace leaf::core {
+
+class EvalCache {
+ public:
+  explicit EvalCache(const data::Featurizer& featurizer,
+                     std::size_t max_bytes = 256ull << 20)
+      : featurizer_(&featurizer), max_bytes_(max_bytes) {}
+
+  const data::Featurizer& featurizer() const { return *featurizer_; }
+
+  /// Memoized Featurizer::at_target_day.  The returned reference stays
+  /// valid for the cache's lifetime.
+  const data::SupervisedSet& at_target_day(int day);
+
+  /// Memoized Featurizer::window(first, last).
+  const data::SupervisedSet& window(int first_feature_day,
+                                    int last_feature_day);
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  using Map =
+      std::unordered_map<std::uint64_t,
+                         std::unique_ptr<const data::SupervisedSet>>;
+
+  /// Shared memoization path: returns map[key], computing via
+  /// compute(featurizer, a, b) on miss.  Computation happens outside the
+  /// lock; concurrent duplicate computes race benignly (identical values,
+  /// first insert wins).
+  const data::SupervisedSet& memo(
+      Map& map, std::uint64_t key,
+      data::SupervisedSet (*compute)(const data::Featurizer&, int, int),
+      int a, int b);
+
+  const data::Featurizer* featurizer_;
+  const std::size_t max_bytes_;
+  std::mutex mu_;
+  Map by_day_;
+  Map by_window_;
+  /// Owns pass-through results computed after the byte budget is spent,
+  /// keeping returned references valid.  Append-only: overflow traffic is
+  /// the rare tail by construction.
+  std::vector<std::unique_ptr<const data::SupervisedSet>> overflow_;
+  std::atomic<std::size_t> hits_{0}, misses_{0}, bytes_{0};
+};
+
+}  // namespace leaf::core

@@ -8,6 +8,7 @@
 #include "common/calendar.hpp"
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
+#include "core/eval_cache.hpp"
 
 namespace leaf::core {
 
@@ -48,7 +49,9 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
   // Initial model: trained on the `train_window` days ending at the
   // anchor.
   data::SupervisedSet train =
-      featurizer.window(anchor - cfg.train_window + 1, anchor);
+      cfg.cache != nullptr
+          ? cfg.cache->window(anchor - cfg.train_window + 1, anchor)
+          : featurizer.window(anchor - cfg.train_window + 1, anchor);
   if (train.empty()) {
     throw std::runtime_error(
         "run_scheme: training window [" +
@@ -59,7 +62,12 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
         "feature day and its +"
         + std::to_string(cfg.horizon) + "-day target day");
   }
+  // Run-scoped fit caches (bin-edge reuse across retrains): every clone
+  // trained by this run attaches to the same instance, so consecutive
+  // retrains on overlapping windows skip most of the quantile work.
+  models::FitCaches fit_caches;
   std::unique_ptr<models::Regressor> model = prototype.clone_untrained();
+  model->attach_caches(&fit_caches);
   model->fit(train.X, train.y);
 
   scheme.reset();
@@ -70,15 +78,25 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
   // anchor + horizon; evaluation starts there.
   const int first_eval = anchor + cfg.horizon;
   std::vector<double> abs_ne_samples;
+  data::SupervisedSet test_local;  // storage for the uncached path
+  std::vector<double> pred;        // reused prediction buffer
 
   for (int day = first_eval; day < num_days; day += cfg.stride) {
-    const data::SupervisedSet test = featurizer.at_target_day(day);
+    const data::SupervisedSet* test_p;
+    if (cfg.cache != nullptr) {
+      test_p = &cfg.cache->at_target_day(day);
+    } else {
+      test_local = featurizer.at_target_day(day);
+      test_p = &test_local;
+    }
+    const data::SupervisedSet& test = *test_p;
     if (static_cast<int>(test.size()) < cfg.min_samples_per_day) {
       ++result.degraded.days_skipped;
       continue;
     }
 
-    const std::vector<double> pred = model->predict(test.X);
+    pred.resize(test.size());
+    model->predict_into(test.X, pred);
     const double err = metrics::nrmse(pred, test.y, norm_range);
     if (cfg.guard_nonfinite && !std::isfinite(err)) {
       // A corrupt test slice must poison neither the NRMSE series nor the
@@ -126,7 +144,8 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
                       .drift = drift,
                       .train_window = cfg.train_window,
                       .rng = &rng,
-                      .prototype = &prototype};
+                      .prototype = &prototype,
+                      .cache = cfg.cache};
     std::optional<data::SupervisedSet> new_train = scheme.on_step(ctx);
     bool retrained = false;
     if (std::unique_ptr<models::Regressor> replacement =
@@ -138,6 +157,7 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
     } else if (new_train.has_value() && !new_train->empty()) {
       train = std::move(*new_train);
       model = prototype.clone_untrained();
+      model->attach_caches(&fit_caches);
       model->fit(train.X, train.y);
       result.retrain_days.push_back(day);
       retrained = true;

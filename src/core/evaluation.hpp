@@ -62,6 +62,12 @@ struct EvalConfig {
   /// the clean dataset's range, or a surviving spike silently deflates
   /// every error it normalizes.
   double norm_range_override = 0.0;
+
+  // --- performance (leaf::par / caching integration) ----------------------
+  /// Optional slice memo shared across runs of the same Featurizer (see
+  /// core/eval_cache.hpp).  Bit-identical to recomputation; null = off.
+  /// Must outlive the run and must have been built over `featurizer`.
+  EvalCache* cache = nullptr;
 };
 
 /// What the graceful-degradation guards did during a run (all zero on a

@@ -5,6 +5,8 @@
 
 #include "common/stats.hpp"
 #include "core/baselines.hpp"
+#include "core/eval_cache.hpp"
+#include "par/parallel.hpp"
 
 namespace leaf::core {
 
@@ -75,22 +77,53 @@ std::vector<SchemeOutcome> compare_schemes(
   std::vector<SchemeOutcome> outcomes(specs.size());
   for (std::size_t s = 0; s < specs.size(); ++s) outcomes[s].scheme = specs[s];
 
+  // All runs walk the same dataset, so they share one slice memo: every
+  // per-day test slice is computed once for the whole grid instead of
+  // once per (seed, scheme) run.
+  EvalCache cache(featurizer);
+
+  // One read-only prototype + config per seed, shared by every run of
+  // that seed (run_scheme only ever clones the prototype).
+  const std::size_t n_seeds = seeds.size();
+  std::vector<std::unique_ptr<models::Regressor>> prototypes(n_seeds);
+  std::vector<EvalConfig> cfgs(n_seeds);
+  for (std::size_t i = 0; i < n_seeds; ++i) {
+    prototypes[i] = models::make_model(family, scale, seeds[i]);
+    cfgs[i] = make_eval_config(scale, seeds[i]);
+    cfgs[i].cache = &cache;
+  }
+
+  // Phase 1: the per-seed Static baselines (every ΔNRMSE̅ needs its
+  // same-seed baseline, so these come first).
+  std::vector<EvalResult> static_runs =
+      par::parallel_map(n_seeds, [&](std::size_t i) {
+        StaticScheme static_scheme;
+        return run_scheme(featurizer, *prototypes[i], static_scheme, cfgs[i]);
+      });
+
+  // Phase 2: the flat seed × scheme grid.  A "Static" arm in `specs`
+  // reuses the phase-1 run outright — same prototype, config, and
+  // (stateless) scheme make the two runs identical by construction.
+  const std::size_t n_tasks = n_seeds * specs.size();
+  std::vector<EvalResult> runs =
+      par::parallel_map(n_tasks, [&](std::size_t t) {
+        const std::size_t i = t / specs.size();
+        const std::size_t s = t % specs.size();
+        if (specs[s] == "Static") return static_runs[i];
+        const auto scheme = make_scheme(specs[s], dispersion, seeds[i] ^ 0x99);
+        return run_scheme(featurizer, *prototypes[i], *scheme, cfgs[i]);
+      });
+
+  // Ordered accumulation in the historical (seed-outer, scheme-inner)
+  // fold order, so the averages are bit-identical at any thread count.
   double static_nrmse_acc = 0.0, static_p95_acc = 0.0;
-  for (const std::uint64_t seed : seeds) {
-    const auto prototype = models::make_model(family, scale, seed);
-    EvalConfig cfg = make_eval_config(scale, seed);
-
-    StaticScheme static_scheme;
-    const EvalResult static_run =
-        run_scheme(featurizer, *prototype, static_scheme, cfg);
-    static_nrmse_acc += static_run.avg_nrmse();
-    static_p95_acc += static_run.ne_p95;
-
+  for (std::size_t i = 0; i < n_seeds; ++i) {
+    static_nrmse_acc += static_runs[i].avg_nrmse();
+    static_p95_acc += static_runs[i].ne_p95;
     for (std::size_t s = 0; s < specs.size(); ++s) {
-      const auto scheme = make_scheme(specs[s], dispersion, seed ^ 0x99);
-      const EvalResult run = run_scheme(featurizer, *prototype, *scheme, cfg);
+      const EvalResult& run = runs[i * specs.size() + s];
       outcomes[s].avg_nrmse += run.avg_nrmse();
-      outcomes[s].delta_pct += delta_vs_static(run, static_run);
+      outcomes[s].delta_pct += delta_vs_static(run, static_runs[i]);
       outcomes[s].retrains += run.retrain_count();
       outcomes[s].ne_p95 += run.ne_p95;
     }

@@ -28,7 +28,7 @@ std::optional<data::SupervisedSet> LeafScheme::on_step(
   if (!ctx.drift) return std::nullopt;
 
   const data::SupervisedSet latest =
-      latest_labeled_window(ctx.featurizer, ctx.eval_day, ctx.train_window);
+      latest_labeled_window(ctx, ctx.train_window);
   if (latest.empty() || ctx.current_train.empty()) return std::nullopt;
 
   // --- Explain: rank features by sensitivity on the drifting samples,
@@ -54,8 +54,7 @@ std::optional<data::SupervisedSet> LeafScheme::on_step(
   if (last_groups_.empty()) {
     // No feature carries signal (can happen on tiny windows): fall back to
     // plain triggered behaviour rather than skipping mitigation.
-    return latest_labeled_window(ctx.featurizer, ctx.eval_day,
-                                 ctx.train_window);
+    return latest_labeled_window(ctx, ctx.train_window);
   }
 
   // Diagnostic: error contrast of the top group (how localized the error
@@ -87,7 +86,7 @@ std::optional<data::SupervisedSet> LeafScheme::on_step(
   // Over-sampling pool: the collected dataset, truncated to the recent
   // pool_window days (always contains the latest drifting samples).
   const data::SupervisedSet pool =
-      latest_labeled_window(ctx.featurizer, ctx.eval_day, cfg_.pool_window);
+      latest_labeled_window(ctx, cfg_.pool_window);
 
   // --- Mitigate: iterate forgetting + over-sampling per feature group,
   // each round rebuilding from the previous round's restructured set.

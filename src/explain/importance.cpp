@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/metrics.hpp"
+#include "par/parallel.hpp"
 
 namespace leaf::explain {
 
@@ -15,7 +16,7 @@ std::vector<double> permutation_importance(const models::Regressor& model,
   const std::size_t n_all = X.rows();
   const std::size_t k = X.cols();
   std::vector<double> scores(k, 0.0);
-  if (n_all == 0) return scores;
+  if (n_all == 0 || cfg.repeats <= 0) return scores;
 
   // Optional row subsample for tractability.
   Matrix Xs;
@@ -35,22 +36,41 @@ std::vector<double> permutation_importance(const models::Regressor& model,
   const std::vector<double> base_pred = model.predict(*Xp);
   const double base_err = metrics::nrmse(base_pred, yp, norm_range);
 
-  // Permute one column at a time in a scratch copy of the matrix.
-  Matrix scratch = *Xp;
-  std::vector<double> saved(n);
-  std::vector<std::size_t> perm(n);
-  for (std::size_t c = 0; c < k; ++c) {
-    for (std::size_t r = 0; r < n; ++r) saved[r] = scratch(r, c);
-    double acc = 0.0;
-    for (int rep = 0; rep < cfg.repeats; ++rep) {
+  // One (column, repeat) pair per task; task (c, rep) permutes column c
+  // with the counter-based sub-stream root.substream(c * repeats + rep),
+  // so the sweep is embarrassingly parallel yet bit-identical at any
+  // thread count.  The caller's generator advances exactly once (the
+  // fork), as a stable part of the function's contract.
+  const Rng root = rng.fork(0x1A9F);
+  const std::size_t reps = static_cast<std::size_t>(cfg.repeats);
+  const std::size_t n_tasks = k * reps;
+  std::vector<double> deltas(n_tasks);
+  par::parallel_for_chunks(n_tasks, [&](std::size_t begin, std::size_t end) {
+    // Per-chunk scratch: a private copy of the evaluation matrix plus
+    // permutation / prediction buffers, reused across the chunk's tasks
+    // (the column under permutation is restored after each task).
+    Matrix scratch = *Xp;
+    std::vector<double> saved(n);
+    std::vector<double> pred(n);
+    std::vector<std::size_t> perm(n);
+    for (std::size_t task = begin; task < end; ++task) {
+      const std::size_t c = task / reps;
+      Rng task_rng = root.substream(task);
+      for (std::size_t r = 0; r < n; ++r) saved[r] = scratch(r, c);
       std::iota(perm.begin(), perm.end(), std::size_t{0});
-      rng.shuffle(perm);
+      task_rng.shuffle(perm);
       for (std::size_t r = 0; r < n; ++r) scratch(r, c) = saved[perm[r]];
-      const std::vector<double> pred = model.predict(scratch);
-      acc += metrics::nrmse(pred, yp, norm_range) - base_err;
+      model.predict_into(scratch, pred);
+      deltas[task] = metrics::nrmse(pred, yp, norm_range) - base_err;
+      for (std::size_t r = 0; r < n; ++r) scratch(r, c) = saved[r];
     }
-    scores[c] = acc / static_cast<double>(cfg.repeats);
-    for (std::size_t r = 0; r < n; ++r) scratch(r, c) = saved[r];
+  });
+
+  // Ordered reduction: repeats fold in repeat order per column.
+  for (std::size_t c = 0; c < k; ++c) {
+    double acc = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) acc += deltas[c * reps + rep];
+    scores[c] = acc / static_cast<double>(reps);
   }
   return scores;
 }

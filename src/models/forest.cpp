@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "par/parallel.hpp"
+
 namespace leaf::models {
 
 ForestConfig ForestConfig::random_forest(int num_trees, std::uint64_t seed) {
@@ -32,9 +34,12 @@ void Forest::fit(const Matrix& X, std::span<const double> y,
   trees_.clear();
   if (!check_fit_args(X, y, w)) return;
 
-  Rng rng(cfg_.seed);
+  const Rng root(cfg_.seed);
   const std::size_t n = X.rows();
-  const BinnedData bd(X, 64);
+  // One binning shared by every tree; the retrain-scoped edge cache (when
+  // attached) carries edges across successive refits.
+  const BinnedData bd(X, 64,
+                      caches_ != nullptr ? &caches_->bin_edges : nullptr);
 
   TreeConfig tree_cfg;
   tree_cfg.max_depth = cfg_.max_depth;
@@ -46,16 +51,27 @@ void Forest::fit(const Matrix& X, std::span<const double> y,
           : std::max<int>(1, static_cast<int>(
                                  std::ceil(std::sqrt(static_cast<double>(X.cols()))) * 2.0));
 
-  trees_.reserve(static_cast<std::size_t>(cfg_.num_trees));
-  std::vector<std::size_t> rows;
-  for (int t = 0; t < cfg_.num_trees; ++t) {
-    rows.clear();
-    if (cfg_.bootstrap) {
-      rows.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) rows.push_back(rng.index(n));
+  // Per-tree fits are independent: tree t draws everything (bootstrap and
+  // split randomness) from the counter-based sub-stream root.substream(t),
+  // so the ensemble is bit-identical at any LEAF_THREADS setting.
+  const std::size_t n_trees = static_cast<std::size_t>(cfg_.num_trees);
+  std::vector<DecisionTree> fitted(n_trees);
+  par::parallel_for_chunks(n_trees, [&](std::size_t begin, std::size_t end) {
+    // One bootstrap buffer per chunk, cleared between trees, so chunk
+    // boundaries cannot leak into the output.
+    std::vector<std::size_t> rows;
+    for (std::size_t t = begin; t < end; ++t) {
+      Rng tree_rng = root.substream(t);
+      rows.clear();
+      if (cfg_.bootstrap) {
+        rows.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) rows.push_back(tree_rng.index(n));
+      }
+      fitted[t].fit(bd, y, w, rows, tree_cfg, tree_rng);
     }
-    DecisionTree tree;
-    tree.fit(bd, y, w, rows, tree_cfg, rng);
+  });
+  trees_.reserve(n_trees);
+  for (auto& tree : fitted) {
     if (tree.trained()) trees_.push_back(std::move(tree));
   }
   trained_ = !trees_.empty();

@@ -36,6 +36,7 @@ class Forest final : public Regressor {
   std::unique_ptr<Regressor> clone_untrained() const override;
   std::string name() const override { return name_; }
   bool trained() const override { return trained_; }
+  void attach_caches(FitCaches* caches) override { caches_ = caches; }
 
   std::size_t tree_count() const { return trees_.size(); }
 
@@ -43,6 +44,7 @@ class Forest final : public Regressor {
   ForestConfig cfg_;
   std::string name_;
   bool trained_ = false;
+  FitCaches* caches_ = nullptr;
   std::vector<DecisionTree> trees_;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "par/parallel.hpp"
+
 namespace leaf::models {
 
 GbdtConfig GbdtConfig::catboost_like(int num_trees, std::uint64_t seed) {
@@ -49,7 +51,8 @@ void Gbdt::fit(const Matrix& X, std::span<const double> y,
         1, static_cast<int>(std::sqrt(static_cast<double>(X.cols())) * 2.0));
   }
 
-  const BinnedData bd(X, 64);
+  const BinnedData bd(X, 64,
+                      caches_ != nullptr ? &caches_->bin_edges : nullptr);
 
   // F0: weighted mean.
   double sw = 0.0, swy = 0.0;
@@ -78,8 +81,11 @@ void Gbdt::fit(const Matrix& X, std::span<const double> y,
     tree.fit(bd, residual, w, rows, tree_cfg, rng);
     if (!tree.trained()) break;
 
-    for (std::size_t i = 0; i < n; ++i)
+    // Per-row prediction refresh: rows are independent and land in
+    // per-row slots, so this is thread-count-invariant.
+    par::parallel_for(n, [&](std::size_t i) {
       pred[i] += cfg_.learning_rate * tree.predict_one(X.row(i));
+    });
     trees_.push_back(std::move(tree));
   }
   trained_ = true;

@@ -37,6 +37,7 @@ class Gbdt final : public Regressor {
   std::unique_ptr<Regressor> clone_untrained() const override;
   std::string name() const override { return name_; }
   bool trained() const override { return trained_; }
+  void attach_caches(FitCaches* caches) override { caches_ = caches; }
 
   const GbdtConfig& config() const { return cfg_; }
   std::size_t tree_count() const { return trees_.size(); }
@@ -46,6 +47,7 @@ class Gbdt final : public Regressor {
   std::string name_;
   bool trained_ = false;
   double base_ = 0.0;
+  FitCaches* caches_ = nullptr;
   std::vector<DecisionTree> trees_;
 };
 

@@ -2,12 +2,26 @@
 
 #include <cassert>
 
+#include "par/parallel.hpp"
+
 namespace leaf::models {
 
+void Regressor::predict_into(const Matrix& X, std::span<double> out) const {
+  assert(out.size() == X.rows());
+  // Per-row parallelism (KNN's distance scans dominate here); per-row
+  // outputs land in per-row slots, so thread count cannot affect results.
+  // Tiny batches stay serial — dispatch would outweigh the work.
+  if (X.rows() < 32) {
+    for (std::size_t r = 0; r < X.rows(); ++r) out[r] = predict_one(X.row(r));
+    return;
+  }
+  par::parallel_for(X.rows(),
+                    [&](std::size_t r) { out[r] = predict_one(X.row(r)); });
+}
+
 std::vector<double> Regressor::predict(const Matrix& X) const {
-  std::vector<double> out;
-  out.reserve(X.rows());
-  for (std::size_t r = 0; r < X.rows(); ++r) out.push_back(predict_one(X.row(r)));
+  std::vector<double> out(X.rows());
+  predict_into(X, out);
   return out;
 }
 

@@ -15,8 +15,16 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "models/tree.hpp"
 
 namespace leaf::models {
+
+/// Retrain-scoped caches a training loop may install on a model before
+/// fit() and keep alive across successive refits of fresh clones (see
+/// core::run_scheme).  Models that cannot use a given cache ignore it.
+struct FitCaches {
+  BinEdgeCache bin_edges;  ///< used by the histogram models (GBDT, forests)
+};
 
 class Regressor {
  public:
@@ -30,8 +38,22 @@ class Regressor {
   /// Predicts a single feature vector.  Only valid after fit().
   virtual double predict_one(std::span<const double> x) const = 0;
 
-  /// Batch prediction; default implementation loops predict_one.
-  virtual std::vector<double> predict(const Matrix& X) const;
+  /// Batch prediction into a caller-provided buffer (out.size() must equal
+  /// X.rows()) — the allocation-free path the evaluation and importance
+  /// loops hammer.  The default parallelizes rows over leaf::par, which is
+  /// safe because every predict_one in this repository is const and
+  /// touches no shared mutable state; an override that cannot guarantee
+  /// that must run serially.
+  virtual void predict_into(const Matrix& X, std::span<double> out) const;
+
+  /// Batch prediction; allocates and delegates to predict_into.
+  std::vector<double> predict(const Matrix& X) const;
+
+  /// Installs retrain-scoped caches (may be null to detach).  The pointee
+  /// must outlive every subsequent fit().  Default: ignored.  Cloning via
+  /// clone_untrained never carries the attachment — the owning loop
+  /// re-attaches after each clone.
+  virtual void attach_caches(FitCaches* caches) { (void)caches; }
 
   /// Fresh untrained copy with identical hyperparameters (used for every
   /// retrain so schemes never warm-start accidentally).

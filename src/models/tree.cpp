@@ -5,38 +5,130 @@
 #include <cmath>
 #include <numeric>
 
+#include "par/parallel.hpp"
+
 namespace leaf::models {
 
-BinnedData::BinnedData(const Matrix& X, int max_bins)
+BinnedData::BinnedData(const Matrix& X, int max_bins, BinEdgeCache* cache)
     : rows_(X.rows()), cols_(X.cols()) {
   assert(max_bins >= 2 && max_bins <= 256);
   codes_.resize(rows_ * cols_);
   bin_count_.resize(cols_);
   edges_.resize(cols_);
 
+  if (cache != nullptr &&
+      (cache->max_bins_ != max_bins || cache->cols_.size() != cols_)) {
+    cache->cols_.assign(cols_, {});
+    cache->max_bins_ = max_bins;
+  }
+
   std::vector<double> col(rows_);
+  std::vector<std::size_t> occupancy;
   for (std::size_t c = 0; c < cols_; ++c) {
     for (std::size_t r = 0; r < rows_; ++r) col[r] = X(r, c);
-    // Candidate edges from quantiles; deduplicate to handle ties / constant
-    // columns.
-    std::vector<double> sorted = col;
-    std::sort(sorted.begin(), sorted.end());
+    double lo = col[0], hi = col[0];
+    for (double v : col) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+
     std::vector<double>& edges = edges_[c];
-    for (int b = 1; b < max_bins; ++b) {
-      const double q = static_cast<double>(b) / max_bins;
-      const double e =
-          sorted[static_cast<std::size_t>(q * static_cast<double>(rows_ - 1))];
-      if (edges.empty() || e > edges.back()) edges.push_back(e);
+    BinEdgeCache::ColState* st =
+        cache != nullptr ? &cache->cols_[c] : nullptr;
+
+    // Assigns codes (bin = count of edges strictly below value) for the
+    // current `edges` and returns the occupancy imbalance: the largest
+    // bin's share of rows over the ideal uniform share (>= 1).
+    const auto assign_codes = [&]() -> double {
+      const std::size_t nb = edges.size() + 1;
+      occupancy.assign(nb, 0);
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const auto it = std::lower_bound(edges.begin(), edges.end(), col[r]);
+        const auto code = static_cast<std::uint8_t>(it - edges.begin());
+        codes_[c * rows_ + r] = code;
+        ++occupancy[code];
+      }
+      const std::size_t worst =
+          *std::max_element(occupancy.begin(), occupancy.end());
+      return static_cast<double>(worst * nb) / static_cast<double>(rows_);
+    };
+    // Cached edges (reused or extended) are only kept if their occupancy
+    // on the new column stays within 2x of their build-time balance;
+    // beyond that the distribution has shifted under them and stale
+    // quantiles would starve the split search of resolution.
+    const auto still_balanced = [&] {
+      return assign_codes() <= 2.0 * st->imbalance;
+    };
+
+    bool built = false;
+    if (st != nullptr && st->valid && lo >= st->lo && hi <= st->hi) {
+      // Previous edges still cover the column's range: reuse, skipping
+      // the per-column sort entirely.
+      edges = st->edges;
+      if (still_balanced()) {
+        ++cache->reused_;
+        built = true;
+      }
+    } else if (st != nullptr && st->valid && lo >= st->lo && hi > st->hi &&
+               static_cast<int>(st->edges.size()) < max_bins - 1) {
+      // Range grew upward (the common case for sliding training windows):
+      // keep the old edges and extend with quantiles of the new tail,
+      // spending the remaining edge budget proportionally to its mass.
+      std::vector<double> tail;
+      for (double v : col) {
+        if (v > st->hi) tail.push_back(v);
+      }
+      if (!tail.empty()) {
+        std::sort(tail.begin(), tail.end());
+        const std::size_t budget =
+            static_cast<std::size_t>(max_bins - 1) - st->edges.size();
+        const std::size_t want = std::max<std::size_t>(
+            1, static_cast<std::size_t>(max_bins) * tail.size() / rows_);
+        const std::size_t extra = std::min(budget, want);
+        edges = st->edges;
+        for (std::size_t b = 1; b <= extra; ++b) {
+          const double q =
+              static_cast<double>(b) / static_cast<double>(extra + 1);
+          const double e = tail[static_cast<std::size_t>(
+              q * static_cast<double>(tail.size() - 1))];
+          if (edges.empty() || e > edges.back()) edges.push_back(e);
+        }
+        while (!edges.empty() && edges.back() >= hi) edges.pop_back();
+        if (still_balanced()) {
+          st->edges = edges;
+          st->hi = hi;
+          ++cache->extended_;
+          built = true;
+        }
+      }
     }
-    // An edge at (or above) the column maximum separates nothing: drop it
-    // so constant columns yield a single bin and no empty top bins exist.
-    while (!edges.empty() && edges.back() >= sorted.back()) edges.pop_back();
+    if (!built) {
+      // Fresh derivation: candidate edges from quantiles; deduplicate to
+      // handle ties / constant columns.
+      std::vector<double> sorted = col;
+      std::sort(sorted.begin(), sorted.end());
+      edges.clear();
+      for (int b = 1; b < max_bins; ++b) {
+        const double q = static_cast<double>(b) / max_bins;
+        const double e = sorted[static_cast<std::size_t>(
+            q * static_cast<double>(rows_ - 1))];
+        if (edges.empty() || e > edges.back()) edges.push_back(e);
+      }
+      // An edge at (or above) the column maximum separates nothing: drop
+      // it so constant columns yield a single bin and no empty top bins
+      // exist.
+      while (!edges.empty() && edges.back() >= sorted.back()) edges.pop_back();
+      const double imbalance = assign_codes();
+      if (st != nullptr) {
+        st->edges = edges;
+        st->lo = lo;
+        st->hi = hi;
+        st->imbalance = imbalance;  // staleness is judged against this
+        st->valid = true;
+        ++cache->rebuilt_;
+      }
+    }
     bin_count_[c] = static_cast<int>(edges.size()) + 1;
-    // Assign codes: bin = count of edges strictly below value.
-    for (std::size_t r = 0; r < rows_; ++r) {
-      const auto it = std::lower_bound(edges.begin(), edges.end(), col[r]);
-      codes_[c * rows_ + r] = static_cast<std::uint8_t>(it - edges.begin());
-    }
   }
 }
 
@@ -54,6 +146,11 @@ struct BinAcc {
   double sum_w = 0.0;
   double sum_wy = 0.0;
 };
+
+/// Below this many node rows the per-feature split scan stays serial: the
+/// chunk dispatch would cost more than the histogram work it distributes.
+/// The cutoff only gates *whether* the pool is used, never the result.
+constexpr std::size_t kParallelNodeRows = 2048;
 
 }  // namespace
 
@@ -95,6 +192,67 @@ void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
   std::iota(feature_pool.begin(), feature_pool.end(), 0);
   std::vector<BinAcc> acc;
 
+  // Best cut of one candidate feature within one node; gain <= min_gain
+  // means no usable cut.  Pure function of the node range and the
+  // pre-drawn random bits, so candidates can be scanned in any order / on
+  // any thread with identical results.
+  struct FeatureSplit {
+    double gain;
+    int bin;
+  };
+  const auto scan_feature = [&](std::size_t f, std::uint64_t rand_bits,
+                                std::size_t begin, std::size_t end,
+                                double sum_w, double sum_wy,
+                                double parent_score,
+                                std::vector<BinAcc>& bins) -> FeatureSplit {
+    FeatureSplit best{cfg.min_gain, -1};
+    const int nb = bd.num_bins(f);
+    if (nb < 2) return best;
+    bins.assign(static_cast<std::size_t>(nb), BinAcc{});
+    int lo_bin = nb, hi_bin = -1;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t r = work[i];
+      const int b = bd.bin(r, f);
+      bins[static_cast<std::size_t>(b)].sum_w += weight_of(r);
+      bins[static_cast<std::size_t>(b)].sum_wy += weight_of(r) * y[r];
+      lo_bin = std::min(lo_bin, b);
+      hi_bin = std::max(hi_bin, b);
+    }
+    if (lo_bin >= hi_bin) return best;  // constant within node
+
+    if (cfg.random_thresholds) {
+      // Extra-Trees: a single uniformly random cut in [lo_bin, hi_bin),
+      // taken from the candidate's pre-drawn bits.
+      const int b = lo_bin + static_cast<int>(
+                                 rand_bits %
+                                 static_cast<std::uint64_t>(hi_bin - lo_bin));
+      double lw = 0.0, lwy = 0.0;
+      for (int bb = lo_bin; bb <= b; ++bb) {
+        lw += bins[static_cast<std::size_t>(bb)].sum_w;
+        lwy += bins[static_cast<std::size_t>(bb)].sum_wy;
+      }
+      const double rw = sum_w - lw, rwy = sum_wy - lwy;
+      if (lw <= 0.0 || rw <= 0.0) return best;
+      const double gain = lwy * lwy / lw + rwy * rwy / rw - parent_score;
+      if (gain > best.gain) best = {gain, b};
+    } else {
+      // Exhaustive scan over cut positions.
+      double lw = 0.0, lwy = 0.0;
+      for (int b = lo_bin; b < hi_bin; ++b) {
+        lw += bins[static_cast<std::size_t>(b)].sum_w;
+        lwy += bins[static_cast<std::size_t>(b)].sum_wy;
+        const double rw = sum_w - lw, rwy = sum_wy - lwy;
+        if (lw <= 0.0 || rw <= 0.0) continue;
+        const double gain = lwy * lwy / lw + rwy * rwy / rw - parent_score;
+        if (gain > best.gain) best = {gain, b};
+      }
+    }
+    return best;
+  };
+
+  std::vector<std::uint64_t> rand_bits;
+  std::vector<FeatureSplit> cands;
+
   while (!stack.empty()) {
     const Pending p = stack.back();
     stack.pop_back();
@@ -128,61 +286,50 @@ void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
         std::swap(feature_pool[static_cast<std::size_t>(i)], feature_pool[j]);
       }
     }
+    const std::size_t nc = static_cast<std::size_t>(n_candidates);
+    const double parent_score = sum_wy * sum_wy / sum_w;
 
+    // Extra-Trees cut randomness is pre-drawn per candidate, in candidate
+    // order, so the scan below touches no shared generator state.
+    if (cfg.random_thresholds) {
+      rand_bits.resize(nc);
+      for (auto& rb : rand_bits) rb = rng();
+    }
+
+    // Histogram + cut search per candidate feature: the per-tree hot loop.
+    // Parallel for big nodes (the top of the tree dominates fit time),
+    // serial below the cutoff where chunk overhead would exceed the work;
+    // both paths produce identical FeatureSplit values.
+    cands.assign(nc, FeatureSplit{cfg.min_gain, -1});
+    if (n_node >= kParallelNodeRows && nc >= 2) {
+      par::parallel_for_chunks(nc, [&](std::size_t cb, std::size_t ce) {
+        std::vector<BinAcc> bins;  // per-chunk scratch
+        for (std::size_t fc = cb; fc < ce; ++fc) {
+          cands[fc] = scan_feature(
+              static_cast<std::size_t>(feature_pool[fc]),
+              cfg.random_thresholds ? rand_bits[fc] : 0, p.begin, p.end,
+              sum_w, sum_wy, parent_score, bins);
+        }
+      });
+    } else {
+      for (std::size_t fc = 0; fc < nc; ++fc) {
+        cands[fc] = scan_feature(static_cast<std::size_t>(feature_pool[fc]),
+                                 cfg.random_thresholds ? rand_bits[fc] : 0,
+                                 p.begin, p.end, sum_w, sum_wy, parent_score,
+                                 acc);
+      }
+    }
+
+    // Ordered reduction in candidate order (strictly-greater keeps the
+    // earliest maximum, matching the historical serial scan).
     double best_gain = cfg.min_gain;
     int best_feature = -1;
     int best_bin = -1;
-    const double parent_score = sum_wy * sum_wy / sum_w;
-
-    for (int fc = 0; fc < n_candidates; ++fc) {
-      const std::size_t f = static_cast<std::size_t>(feature_pool[static_cast<std::size_t>(fc)]);
-      const int nb = bd.num_bins(f);
-      if (nb < 2) continue;
-      acc.assign(static_cast<std::size_t>(nb), BinAcc{});
-      int lo_bin = nb, hi_bin = -1;
-      for (std::size_t i = p.begin; i < p.end; ++i) {
-        const std::size_t r = work[i];
-        const int b = bd.bin(r, f);
-        acc[static_cast<std::size_t>(b)].sum_w += weight_of(r);
-        acc[static_cast<std::size_t>(b)].sum_wy += weight_of(r) * y[r];
-        lo_bin = std::min(lo_bin, b);
-        hi_bin = std::max(hi_bin, b);
-      }
-      if (lo_bin >= hi_bin) continue;  // constant within node
-
-      if (cfg.random_thresholds) {
-        // Extra-Trees: a single uniformly random cut in [lo_bin, hi_bin).
-        const int b = lo_bin + static_cast<int>(rng.index(
-                                   static_cast<std::size_t>(hi_bin - lo_bin)));
-        double lw = 0.0, lwy = 0.0;
-        for (int bb = lo_bin; bb <= b; ++bb) {
-          lw += acc[static_cast<std::size_t>(bb)].sum_w;
-          lwy += acc[static_cast<std::size_t>(bb)].sum_wy;
-        }
-        const double rw = sum_w - lw, rwy = sum_wy - lwy;
-        if (lw <= 0.0 || rw <= 0.0) continue;
-        const double gain =
-            lwy * lwy / lw + rwy * rwy / rw - parent_score;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_feature = static_cast<int>(f);
-          best_bin = b;
-        }
-      } else {
-        // Exhaustive scan over cut positions.
-        double lw = 0.0, lwy = 0.0;
-        for (int b = lo_bin; b < hi_bin; ++b) {
-          lw += acc[static_cast<std::size_t>(b)].sum_w;
-          lwy += acc[static_cast<std::size_t>(b)].sum_wy;
-          const double rw = sum_w - lw, rwy = sum_wy - lwy;
-          if (lw <= 0.0 || rw <= 0.0) continue;
-          const double gain = lwy * lwy / lw + rwy * rwy / rw - parent_score;
-          if (gain > best_gain) {
-            best_gain = gain;
-            best_feature = static_cast<int>(f);
-            best_bin = b;
-          }
-        }
+    for (std::size_t fc = 0; fc < nc; ++fc) {
+      if (cands[fc].gain > best_gain) {
+        best_gain = cands[fc].gain;
+        best_feature = feature_pool[fc];
+        best_bin = cands[fc].bin;
       }
     }
 

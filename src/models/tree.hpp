@@ -18,12 +18,63 @@
 
 namespace leaf::models {
 
+/// Retrain-scoped cache of per-column bin edges (see core::run_scheme).
+///
+/// Successive retrains in the walk-forward loop bin training windows that
+/// overlap heavily, yet BinnedData used to re-derive quantile edges from a
+/// full per-column sort every time.  With a cache attached, a column whose
+/// value range is still covered by the previously derived edges reuses
+/// them outright (skipping the O(n log n) sort); a column whose range grew
+/// keeps the old edges and *extends* them with quantiles of only the
+/// out-of-range values.  Columns whose range shrank, or whose extension
+/// would exceed the bin budget, fall back to a fresh derivation.
+///
+/// Range coverage alone is not enough: after a drift event the column's
+/// *distribution* can shift far inside an unchanged range, and quantile
+/// edges derived pre-drift then concentrate the post-drift mass into a few
+/// bins — retrained trees split badly exactly when retraining matters
+/// most.  Reused edges are therefore accepted only if the bin occupancy
+/// they produce on the new column stays within a constant factor of the
+/// occupancy balance they had when freshly derived (measured on the codes,
+/// which have to be computed either way); concentrated mass fails the
+/// check and forces a fresh derivation.
+///
+/// Reuse is deterministic — the cache state is a pure function of the
+/// sequence of matrices binned through it — but not bit-identical to
+/// uncached edges; it is a retrain-speed/bin-optimality trade, which is
+/// why it's opt-in per training loop rather than global.
+class BinEdgeCache {
+ public:
+  void clear() { cols_.clear(); }
+  std::size_t reused() const { return reused_; }
+  std::size_t extended() const { return extended_; }
+  std::size_t rebuilt() const { return rebuilt_; }
+
+ private:
+  friend class BinnedData;
+  struct ColState {
+    std::vector<double> edges;
+    double lo = 0.0, hi = 0.0;  ///< value range the edges were derived for
+    /// max bin share / ideal share at the last fresh derivation (>= 1;
+    /// exact quantile edges over tied data are legitimately imbalanced, so
+    /// staleness is judged relative to this, not to perfection).
+    double imbalance = 1.0;
+    bool valid = false;
+  };
+  std::vector<ColState> cols_;
+  int max_bins_ = 0;
+  std::size_t reused_ = 0, extended_ = 0, rebuilt_ = 0;
+};
+
 /// Quantile-binned view of a feature matrix.
 class BinnedData {
  public:
   /// Bins each column of X into <= max_bins quantile bins.  max_bins must
-  /// be <= 256 (bins are stored as uint8).
-  BinnedData(const Matrix& X, int max_bins);
+  /// be <= 256 (bins are stored as uint8).  An optional BinEdgeCache
+  /// carries edges across successive binnings (one cache per sequential
+  /// training loop; not thread-safe).
+  explicit BinnedData(const Matrix& X, int max_bins,
+                      BinEdgeCache* cache = nullptr);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }

@@ -1,0 +1,160 @@
+#include "par/pool.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace leaf::par {
+
+namespace {
+
+thread_local bool t_inside_parallel = false;
+
+int resolve_env_threads() {
+  const char* env = std::getenv("LEAF_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+    std::fprintf(stderr,
+                 "leaf::par: ignoring invalid LEAF_THREADS=%s (want 1..1024); "
+                 "using hardware concurrency\n",
+                 env);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+// Global pool state.  `g_mu` guards creation/replacement only; run() has
+// its own synchronization.
+std::mutex g_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_threads = 0;  // 0 = not yet resolved
+
+int threads_locked() {
+  if (g_threads == 0) g_threads = resolve_env_threads();
+  return g_threads;
+}
+
+}  // namespace
+
+int threads() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return threads_locked();
+}
+
+void set_threads(int n) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_pool.reset();  // joins any existing workers
+  g_threads = n > 0 ? n : resolve_env_threads();
+}
+
+ThreadPool& pool() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(threads_locked() - 1);
+  return *g_pool;
+}
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n_chunks = 0;
+  std::atomic<std::size_t> next{0};  // chunk cursor
+  int attached = 0;                  // workers currently executing (mu_)
+  std::uint64_t seq = 0;
+  std::exception_ptr error;  // first failure (err_mu)
+  std::mutex err_mu;
+};
+
+ThreadPool::ThreadPool(int workers) {
+  threads_.reserve(static_cast<std::size_t>(workers > 0 ? workers : 0));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::inside_parallel_region() { return t_inside_parallel; }
+
+void ThreadPool::execute_chunks(Job& job) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.n_chunks) return;
+    try {
+      (*job.fn)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> g(job.err_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_parallel = true;
+  std::uint64_t last_seq = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] {
+      return stop_ || (job_ != nullptr && job_->seq != last_seq);
+    });
+    if (stop_) return;
+    Job* job = job_;
+    last_seq = job->seq;
+    ++job->attached;  // pins the job: the submitter waits for detachment
+    lk.unlock();
+    execute_chunks(*job);
+    lk.lock();
+    --job->attached;
+    if (job->attached == 0) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t n_chunks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n_chunks == 0) return;
+  if (threads_.empty() || n_chunks == 1 || t_inside_parallel) {
+    // Serial / nested path: exceptions propagate naturally.
+    for (std::size_t c = 0; c < n_chunks; ++c) fn(c);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  Job job;
+  job.fn = &fn;
+  job.n_chunks = n_chunks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job.seq = ++seq_;
+    job_ = &job;
+  }
+  cv_work_.notify_all();
+
+  t_inside_parallel = true;  // nested parallel_* calls from chunks inline
+  execute_chunks(job);
+  t_inside_parallel = false;
+
+  {
+    // All chunks are claimed (the cursor ran out above); wait until every
+    // worker that attached has finished executing its claimed chunks, then
+    // retract the job under the same lock so a late-waking worker can
+    // never observe a dangling pointer.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return job.attached == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace leaf::par

@@ -1,0 +1,83 @@
+// Deterministic bounded thread pool — the execution layer behind every
+// parallel hot path in the repository (leaf::par).
+//
+// Design contract: **parallelism must never change numeric output.**  Work
+// is partitioned by index, never by thread; any randomness a task needs
+// comes from a counter-based Rng sub-stream derived from the task index
+// (`Rng::substream`), and reductions combine per-index results in index
+// order.  Under that discipline every parallel site produces bit-identical
+// output at any thread count, and `LEAF_THREADS` is a pure throughput knob:
+//
+//   LEAF_THREADS=1   exact serial semantics (no pool threads at all);
+//   LEAF_THREADS=N   bounded pool of N-1 workers plus the calling thread;
+//   unset / invalid  hardware_concurrency().
+//
+// The pool runs one job at a time.  Chunks of the active job are claimed
+// dynamically (an atomic cursor) by the workers *and* the submitting
+// thread, so assignment of chunk -> thread is scheduling-dependent — but
+// chunk *contents* are a pure function of (n, chunk index), which is what
+// determinism rests on.  Nested submissions (a task that itself calls a
+// parallel_* helper) execute inline on the submitting thread instead of
+// deadlocking on the occupied pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace leaf::par {
+
+/// Resolved parallelism width: LEAF_THREADS if set and valid, otherwise
+/// hardware_concurrency() (minimum 1).  1 means strictly serial.
+int threads();
+
+/// Overrides the thread count at runtime (the determinism tests switch
+/// between 1 and 4 within one process).  n <= 0 re-reads the environment.
+/// Must not be called while a parallel region is executing.
+void set_threads(int n);
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` helper threads (the submitting thread is worker
+  /// number `workers`, so total parallelism is workers + 1).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Executes fn(c) for every c in [0, n_chunks), distributing chunks over
+  /// the workers and the calling thread.  Blocks until all chunks finished.
+  /// The first exception thrown by any chunk is rethrown on the caller
+  /// (remaining chunks still run, so the pool is left quiescent).
+  void run(std::size_t n_chunks, const std::function<void(std::size_t)>& fn);
+
+  /// True while the current thread is executing inside a parallel region
+  /// (pool worker or submitting thread).  parallel_* helpers consult this
+  /// to run nested regions inline.
+  static bool inside_parallel_region();
+
+ private:
+  struct Job;
+  void worker_loop();
+  static void execute_chunks(Job& job);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;                    // guards job_, seq_, stop_, attached
+  std::condition_variable cv_work_;  // workers wait for a new job
+  std::condition_variable cv_done_;  // submitter waits for detachment
+  Job* job_ = nullptr;
+  std::uint64_t seq_ = 0;
+  bool stop_ = false;
+  std::mutex submit_mu_;  // one job at a time across submitting threads
+};
+
+/// Process-wide pool sized by threads(); created lazily on first use.
+ThreadPool& pool();
+
+}  // namespace leaf::par
