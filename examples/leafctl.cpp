@@ -1,29 +1,41 @@
 // leafctl — command-line driver for the LEAF library.
 //
-// Runs one (dataset, KPI, model, scheme) evaluation and prints the
-// summary plus, optionally, the full NRMSE time-series as CSV.  Useful
-// for scripting sweeps beyond the canned benches.
+// Classic mode runs one (dataset, KPI, model, scheme) evaluation and
+// prints the summary plus, optionally, the full NRMSE time-series as CSV.
+// Useful for scripting sweeps beyond the canned benches.
 //
-// Usage:
 //   leafctl [--dataset fixed|evolving] [--kpi DVol|PU|DTP|REst|CDR|GDR]
 //           [--model GBDT|LightGBDT|RandomForest|ExtraTrees|KNeighbors|
 //                    LSTM|Ridge]
 //           [--scheme Static|Naive<N>|Triggered|LEAF|LEAF<k>|
 //                     PairedLearners|AUE2]
 //           [--seed N] [--stride N] [--train-window N] [--horizon N]
-//           [--csv out.csv] [--list]
+//           [--csv out.csv] [--threads N] [--snapshot-dir DIR] [--list]
 //
+// Serve mode drives a sharded fleet (leaf::serve) with periodic
+// snapshots and crash recovery:
+//
+//   leafctl serve [--dataset fixed|evolving] [--kpis DVol,PU,...|all]
+//                 [--model MODEL] [--scheme SCHEME] [--shards N]
+//                 [--seed N] [--threads N]
+//                 [--snapshot-every K] [--snapshot-dir DIR] [--resume]
+//
+// Unknown flags are rejected with usage() and exit code 2 in both modes.
 // The LEAF_SCALE environment variable controls dataset size as usual.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/calendar.hpp"
 #include "common/csv.hpp"
 #include "core/experiment.hpp"
 #include "data/generator.hpp"
 #include "models/factory.hpp"
+#include "par/parallel.hpp"
+#include "serve/runtime.hpp"
 
 using namespace leaf;
 
@@ -33,8 +45,13 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--dataset fixed|evolving] [--kpi KPI] "
                "[--model MODEL] [--scheme SCHEME] [--seed N] [--stride N] "
-               "[--train-window N] [--horizon N] [--csv FILE] [--list]\n",
-               argv0);
+               "[--train-window N] [--horizon N] [--csv FILE] [--threads N] "
+               "[--snapshot-dir DIR] [--list]\n"
+               "       %s serve [--dataset fixed|evolving] [--kpis A,B|all] "
+               "[--model MODEL] [--scheme SCHEME] [--shards N] [--seed N] "
+               "[--threads N] [--snapshot-every K] [--snapshot-dir DIR] "
+               "[--resume]\n",
+               argv0, argv0);
 }
 
 void list_options() {
@@ -47,16 +64,177 @@ void list_options() {
               "PairedLearners AUE2\n");
 }
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int run_serve(int argc, char** argv) {
+  std::string dataset = "fixed";
+  std::string kpis = "DVol";
+  std::string model_name = "GBDT";
+  std::string scheme_spec = "LEAF";
+  std::string snapshot_dir;
+  std::uint64_t seed = 2024;
+  int shards = 0;  // 0 = one per KPI
+  int threads = -1;
+  int snapshot_every = 0;
+  bool resume = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--kpis") {
+      kpis = next();
+    } else if (arg == "--model") {
+      model_name = next();
+    } else if (arg == "--scheme") {
+      scheme_spec = next();
+    } else if (arg == "--shards") {
+      shards = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--snapshot-every") {
+      snapshot_every = std::atoi(next());
+    } else if (arg == "--snapshot-dir") {
+      snapshot_dir = next();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (threads >= 0) par::set_threads(threads);
+  if ((snapshot_every > 0 || resume) && snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "--snapshot-every / --resume require --snapshot-dir\n");
+    return 2;
+  }
+
+  models::ModelFamily family;
+  if (!models::parse_model_family(model_name, family)) {
+    std::fprintf(stderr, "unknown model '%s' (--list to enumerate)\n",
+                 model_name.c_str());
+    return 2;
+  }
+  if (dataset != "fixed" && dataset != "evolving") {
+    std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+    return 2;
+  }
+
+  std::vector<data::TargetKpi> targets;
+  if (kpis == "all") {
+    targets.assign(data::kAllTargets.begin(), data::kAllTargets.end());
+  } else {
+    for (const std::string& name : split_csv(kpis)) {
+      data::TargetKpi t;
+      if (!data::parse_target(name, t)) {
+        std::fprintf(stderr, "unknown KPI '%s' (--list to enumerate)\n",
+                     name.c_str());
+        return 2;
+      }
+      targets.push_back(t);
+    }
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr, "no KPIs given\n");
+    return 2;
+  }
+
+  const Scale scale = Scale::from_env();
+  const data::CellularDataset ds = dataset == "fixed"
+                                       ? data::generate_fixed_dataset(scale)
+                                       : data::generate_evolving_dataset(scale);
+
+  // Shard list: cycle through the KPI list until `shards` shards exist
+  // (default: one per KPI).  Seeds are left at 0 so the runtime derives
+  // them from the fleet seed via Rng::substream.
+  const std::size_t n_shards =
+      shards > 0 ? static_cast<std::size_t>(shards) : targets.size();
+  std::vector<serve::ShardSpec> specs;
+  specs.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i)
+    specs.push_back({targets[i % targets.size()], family, scheme_spec, 0});
+
+  serve::FleetRuntime fleet(ds, scale, std::move(specs), seed);
+  std::printf("leafctl serve: %zu shard(s), %s / %s / %s (scale=%s, "
+              "seed=%llu)\n",
+              fleet.num_shards(), dataset.c_str(), model_name.c_str(),
+              scheme_spec.c_str(), scale.name().c_str(),
+              static_cast<unsigned long long>(seed));
+
+  if (resume) {
+    fleet.restore(snapshot_dir);
+    std::printf("resumed from %s at step %llu\n", snapshot_dir.c_str(),
+                static_cast<unsigned long long>(fleet.steps_run()));
+  }
+
+  while (fleet.step()) {
+    if (snapshot_every > 0 && fleet.steps_run() % snapshot_every == 0) {
+      const std::uint64_t bytes = fleet.snapshot(snapshot_dir);
+      std::printf("step %llu: snapshot -> %s (%llu bytes)\n",
+                  static_cast<unsigned long long>(fleet.steps_run()),
+                  snapshot_dir.c_str(),
+                  static_cast<unsigned long long>(bytes));
+    }
+  }
+  if (!snapshot_dir.empty()) fleet.snapshot(snapshot_dir);
+
+  const serve::ServeStats stats = fleet.stats();
+  const std::vector<core::EvalResult> results = fleet.results();
+  std::printf("\nfleet complete: %llu steps\n",
+              static_cast<unsigned long long>(stats.total_steps));
+  std::printf("%-6s %-12s %-10s %8s %8s %8s %8s\n", "kpi", "model", "scheme",
+              "days", "nrmse", "drifts", "retrains");
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const serve::ShardStats& s = stats.shards[i];
+    std::printf("%-6s %-12s %-10s %8d %8.4f %8d %8d\n", s.kpi.c_str(),
+                s.model.c_str(), s.scheme.c_str(), s.days_evaluated,
+                results[i].avg_nrmse(), s.drift_events, s.retrains);
+  }
+  if (!snapshot_dir.empty())
+    std::printf("final snapshot in %s\n", snapshot_dir.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+    return run_serve(argc, argv);
+
   std::string dataset = "fixed";
   std::string kpi = "DVol";
   std::string model_name = "GBDT";
   std::string scheme_spec = "LEAF";
   std::string csv_path;
+  std::string snapshot_dir;
   std::uint64_t seed = 2024;
-  int stride = -1, train_window = -1, horizon = -1;
+  int stride = -1, train_window = -1, horizon = -1, threads = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,6 +263,10 @@ int main(int argc, char** argv) {
       horizon = std::atoi(next());
     } else if (arg == "--csv") {
       csv_path = next();
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--snapshot-dir") {
+      snapshot_dir = next();
     } else if (arg == "--list") {
       list_options();
       return 0;
@@ -97,6 +279,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (threads >= 0) par::set_threads(threads);
 
   data::TargetKpi target;
   if (!data::parse_target(kpi, target)) {
@@ -162,6 +346,18 @@ int main(int argc, char** argv) {
               static_run.ne_p95);
   std::printf("dispersion:  %.2f (%s mitigation path)\n", dispersion,
               dispersion >= 1.0 ? "high" : "low");
+
+  if (!snapshot_dir.empty()) {
+    // A single-shard fleet snapshot of this (KPI, model, scheme) pipeline
+    // at its end state, resumable with `leafctl serve --resume`.  Uses the
+    // scale's standard evaluation config, as serve mode does.
+    serve::FleetRuntime fleet(ds, scale,
+                              {{target, family, scheme_spec, seed}}, seed);
+    fleet.run_to_end();
+    const std::uint64_t bytes = fleet.snapshot(snapshot_dir);
+    std::printf("snapshot:    %s (%llu bytes)\n", snapshot_dir.c_str(),
+                static_cast<unsigned long long>(bytes));
+  }
 
   if (!csv_path.empty()) {
     CsvWriter w(csv_path);

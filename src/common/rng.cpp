@@ -24,6 +24,16 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : state_) s = splitmix64(sm);
 }
 
+Rng::State Rng::capture() const {
+  return State{state_, cached_normal_, has_cached_normal_};
+}
+
+void Rng::restore(const State& s) {
+  state_ = s.words;
+  cached_normal_ = s.cached_normal;
+  has_cached_normal_ = s.has_cached_normal;
+}
+
 Rng::result_type Rng::operator()() {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

@@ -34,9 +34,21 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// Complete generator state (xoshiro words + the Box–Muller carry), so a
+  /// generator can be checkpointed and resumed mid-stream (leaf::io).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
   /// Seeds the generator; two `Rng`s built from the same seed produce
   /// identical streams.
   explicit Rng(std::uint64_t seed = 0xC0FFEE0DDBA11ULL);
+
+  /// Captures the full state; restore() resumes the stream bit-exactly.
+  State capture() const;
+  void restore(const State& s);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }

@@ -217,4 +217,41 @@ data::SupervisedSet LeafScheme::restructure(const SchemeContext& ctx,
   return restructured;
 }
 
+void LeafScheme::save_state(io::Serializer& out) const {
+  out.put_u64(cfg_.seed);
+  out.put_i32(cfg_.num_groups);
+  out.put_f64(dispersion_);
+  io::write(out, rng_);
+  out.put_u64(last_groups_.size());
+  for (const explain::FeatureGroup& g : last_groups_) {
+    out.put_i32(g.representative);
+    out.put_f64(g.importance);
+    out.put_ints(g.members);
+  }
+  out.put_f64(last_contrast_);
+}
+
+void LeafScheme::load_state(io::Deserializer& in) {
+  const std::uint64_t seed = in.get_u64();
+  const int num_groups = in.get_i32();
+  const double dispersion = in.get_f64();
+  if (seed != cfg_.seed || num_groups != cfg_.num_groups ||
+      dispersion != dispersion_)
+    throw io::SnapshotError(
+        "LEAF scheme configuration mismatch between snapshot and scheme");
+  Rng rng(cfg_.seed);
+  io::read_rng(in, rng);
+  const std::size_t count = in.get_count(4 + 8 + 8);  // rep + imp + members len
+  std::vector<explain::FeatureGroup> groups(count);
+  for (explain::FeatureGroup& g : groups) {
+    g.representative = in.get_i32();
+    g.importance = in.get_f64();
+    g.members = in.get_ints();
+  }
+  const double contrast = in.get_f64();
+  rng_ = rng;
+  last_groups_ = std::move(groups);
+  last_contrast_ = contrast;
+}
+
 }  // namespace leaf::core

@@ -123,6 +123,9 @@ class LeafScheme final : public MitigationScheme {
   /// in a few feature bins, near 0 for homogeneous drift.
   double last_contrast() const { return last_contrast_; }
 
+  void save_state(io::Serializer& out) const override;
+  void load_state(io::Deserializer& in) override;
+
  private:
   /// One round of forgetting + over-sampling against a representative
   /// feature.  `latest` defines the error distribution E_L; `pool` is the

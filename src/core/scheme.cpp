@@ -19,6 +19,16 @@ data::SupervisedSet latest_labeled_window(const SchemeContext& ctx,
   return ctx.featurizer.window(first_feature_day, last_feature_day);
 }
 
+void MitigationScheme::save_state(io::Serializer& out) const {
+  (void)out;
+  throw io::SnapshotError("scheme '" + name() + "' does not support snapshots");
+}
+
+void MitigationScheme::load_state(io::Deserializer& in) {
+  (void)in;
+  throw io::SnapshotError("scheme '" + name() + "' does not support snapshots");
+}
+
 PeriodicScheme::PeriodicScheme(int period_days) : period_(period_days) {}
 
 void PeriodicScheme::reset() { last_retrain_day_ = -1; }
@@ -33,6 +43,19 @@ std::optional<data::SupervisedSet> PeriodicScheme::on_step(
 
 std::string PeriodicScheme::name() const {
   return "Naive" + std::to_string(period_);
+}
+
+void PeriodicScheme::save_state(io::Serializer& out) const {
+  out.put_i32(period_);
+  out.put_i32(last_retrain_day_);
+}
+
+void PeriodicScheme::load_state(io::Deserializer& in) {
+  const int period = in.get_i32();
+  if (period != period_)
+    throw io::SnapshotError(
+        "periodic scheme period mismatch between snapshot and scheme");
+  last_retrain_day_ = in.get_i32();
 }
 
 std::optional<data::SupervisedSet> TriggeredScheme::on_step(

@@ -69,6 +69,13 @@ class MitigationScheme {
   }
 
   virtual std::string name() const = 0;
+
+  /// Snapshot hooks (leaf::io): serialize / restore all policy state that
+  /// evolves across steps.  Defaults throw io::SnapshotError so ensemble
+  /// policies that keep unserialized model banks (PairedLearners, AUE2)
+  /// fail snapshots loudly instead of resuming wrong.
+  virtual void save_state(io::Serializer& out) const;
+  virtual void load_state(io::Deserializer& in);
 };
 
 /// Never retrains.
@@ -79,6 +86,8 @@ class StaticScheme final : public MitigationScheme {
     return std::nullopt;
   }
   std::string name() const override { return "Static"; }
+  void save_state(io::Serializer&) const override {}  // stateless
+  void load_state(io::Deserializer&) override {}
 };
 
 /// Retrains every `period_days` calendar days on the latest labeled
@@ -89,6 +98,8 @@ class PeriodicScheme final : public MitigationScheme {
   void reset() override;
   std::optional<data::SupervisedSet> on_step(const SchemeContext& ctx) override;
   std::string name() const override;
+  void save_state(io::Serializer& out) const override;
+  void load_state(io::Deserializer& in) override;
 
  private:
   int period_;
@@ -101,6 +112,8 @@ class TriggeredScheme final : public MitigationScheme {
   void reset() override {}
   std::optional<data::SupervisedSet> on_step(const SchemeContext& ctx) override;
   std::string name() const override { return "Triggered"; }
+  void save_state(io::Serializer&) const override {}  // stateless
+  void load_state(io::Deserializer&) override {}
 };
 
 /// The most recent fully-labeled `window` days of supervised pairs as of

@@ -174,6 +174,13 @@ void Standardizer::fit(const Matrix& X) {
   }
 }
 
+void Standardizer::restore(std::vector<double> mean,
+                           std::vector<double> stddev) {
+  assert(mean.size() == stddev.size());
+  mean_ = std::move(mean);
+  std_ = std::move(stddev);
+}
+
 Matrix Standardizer::transform(const Matrix& X) const {
   assert(fitted() && X.cols() == mean_.size());
   Matrix out(X.rows(), X.cols());

@@ -82,6 +82,9 @@ class Standardizer {
   void fit(const Matrix& X);
   Matrix transform(const Matrix& X) const;
   void transform_row(std::span<const double> in, std::span<double> out) const;
+  /// Reinstates previously fitted moments (snapshot restore, leaf::io).
+  /// The vectors must have equal length.
+  void restore(std::vector<double> mean, std::vector<double> stddev);
   bool fitted() const { return !mean_.empty(); }
   std::span<const double> mean() const { return mean_; }
   std::span<const double> stddev() const { return std_; }

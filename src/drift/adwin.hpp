@@ -33,6 +33,9 @@ class Adwin final : public DriftDetector {
   std::size_t window_length() const { return total_count_; }
   double window_mean() const;
 
+  void save_state(io::Serializer& out) const override;
+  void load_state(io::Deserializer& in) override;
+
  private:
   struct Bucket {
     double sum = 0.0;

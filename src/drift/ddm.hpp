@@ -37,6 +37,9 @@ class Ddm final : public DriftDetector {
   std::unique_ptr<DriftDetector> clone_fresh() const override;
   bool in_warning_zone() const { return warning_; }
 
+  void save_state(io::Serializer& out) const override;
+  void load_state(io::Deserializer& in) override;
+
  private:
   DdmConfig cfg_;
   EwmaBinarizer binarizer_;

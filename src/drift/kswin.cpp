@@ -55,4 +55,37 @@ std::unique_ptr<DriftDetector> Kswin::clone_fresh() const {
   return std::make_unique<Kswin>(cfg_);
 }
 
+void Kswin::save_state(io::Serializer& out) const {
+  out.put_i32(cfg_.window_size);
+  out.put_i32(cfg_.stat_size);
+  out.put_f64(cfg_.alpha);
+  out.put_u64(cfg_.seed);
+  io::write(out, rng_);
+  std::vector<double> window(window_.begin(), window_.end());
+  out.put_doubles(window);
+  out.put_f64(last_p_);
+}
+
+void Kswin::load_state(io::Deserializer& in) {
+  KswinConfig saved;
+  saved.window_size = in.get_i32();
+  saved.stat_size = in.get_i32();
+  saved.alpha = in.get_f64();
+  saved.seed = in.get_u64();
+  if (saved.window_size != cfg_.window_size ||
+      saved.stat_size != cfg_.stat_size || saved.alpha != cfg_.alpha ||
+      saved.seed != cfg_.seed)
+    throw io::SnapshotError(
+        "KSWIN configuration mismatch between snapshot and detector");
+  Rng rng(cfg_.seed);
+  io::read_rng(in, rng);
+  const std::vector<double> window = in.get_doubles();
+  const double last_p = in.get_f64();
+  if (window.size() > static_cast<std::size_t>(cfg_.window_size))
+    throw io::SnapshotError("KSWIN window larger than configured size");
+  rng_ = rng;
+  window_.assign(window.begin(), window.end());
+  last_p_ = last_p;
+}
+
 }  // namespace leaf::drift

@@ -39,6 +39,9 @@ class Kswin final : public DriftDetector {
   /// p-value of the most recent test (1.0 before the window first fills).
   double last_p_value() const { return last_p_; }
 
+  void save_state(io::Serializer& out) const override;
+  void load_state(io::Deserializer& in) override;
+
  private:
   KswinConfig cfg_;
   Rng rng_;

@@ -1,0 +1,184 @@
+#include "io/serializer.hpp"
+
+#include <array>
+#include <bit>
+
+namespace leaf::io {
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Serializer::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Serializer::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Serializer::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Serializer::put_string(const std::string& s) {
+  put_u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Serializer::put_doubles(std::span<const double> v) {
+  put_u64(v.size());
+  for (double x : v) put_f64(x);
+}
+
+void Serializer::put_ints(std::span<const int> v) {
+  put_u64(v.size());
+  for (int x : v) put_i32(x);
+}
+
+void Serializer::put_raw(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Deserializer::need(std::size_t n) const {
+  if (remaining() < n)
+    throw SnapshotError("truncated input: need " + std::to_string(n) +
+                        " bytes, " + std::to_string(remaining()) + " left");
+}
+
+std::uint8_t Deserializer::get_u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint32_t Deserializer::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Deserializer::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+double Deserializer::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+bool Deserializer::get_bool() {
+  const std::uint8_t v = get_u8();
+  if (v > 1) throw SnapshotError("corrupt bool value " + std::to_string(v));
+  return v != 0;
+}
+
+std::uint64_t Deserializer::get_count(std::size_t elem_bytes) {
+  const std::uint64_t n = get_u64();
+  if (elem_bytes > 0 && n > remaining() / elem_bytes)
+    throw SnapshotError("corrupt container count " + std::to_string(n) +
+                        " exceeds remaining payload");
+  return n;
+}
+
+std::string Deserializer::get_string() {
+  const std::uint64_t n = get_count(1);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::vector<double> Deserializer::get_doubles() {
+  const std::uint64_t n = get_count(8);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = get_f64();
+  return v;
+}
+
+std::vector<int> Deserializer::get_ints() {
+  const std::uint64_t n = get_count(4);
+  std::vector<int> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = get_i32();
+  return v;
+}
+
+void write(Serializer& out, const Matrix& m) {
+  out.put_u64(m.rows());
+  out.put_u64(m.cols());
+  for (double v : m.flat()) out.put_f64(v);
+}
+
+Matrix read_matrix(Deserializer& in) {
+  const std::uint64_t rows = in.get_u64();
+  const std::uint64_t cols = in.get_u64();
+  if (cols > 0 && rows > in.remaining() / 8 / cols)
+    throw SnapshotError("corrupt matrix dimensions " + std::to_string(rows) +
+                        "x" + std::to_string(cols));
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (double& v : m.flat()) v = in.get_f64();
+  return m;
+}
+
+void write(Serializer& out, const data::SupervisedSet& s) {
+  write(out, s.X);
+  out.put_doubles(s.y);
+  out.put_ints(s.feature_day);
+  out.put_ints(s.target_day);
+  out.put_ints(s.enb);
+}
+
+data::SupervisedSet read_supervised_set(Deserializer& in) {
+  data::SupervisedSet s;
+  s.X = read_matrix(in);
+  s.y = in.get_doubles();
+  s.feature_day = in.get_ints();
+  s.target_day = in.get_ints();
+  s.enb = in.get_ints();
+  if (s.y.size() != s.X.rows() || s.feature_day.size() != s.y.size() ||
+      s.target_day.size() != s.y.size() || s.enb.size() != s.y.size())
+    throw SnapshotError("supervised set with inconsistent row counts");
+  return s;
+}
+
+void write(Serializer& out, const Rng& rng) {
+  const Rng::State st = rng.capture();
+  for (std::uint64_t w : st.words) out.put_u64(w);
+  out.put_f64(st.cached_normal);
+  out.put_bool(st.has_cached_normal);
+}
+
+void read_rng(Deserializer& in, Rng& rng) {
+  Rng::State st;
+  for (auto& w : st.words) w = in.get_u64();
+  st.cached_normal = in.get_f64();
+  st.has_cached_normal = in.get_bool();
+  rng.restore(st);
+}
+
+void write(Serializer& out, const data::Standardizer& s) {
+  out.put_doubles(s.mean());
+  out.put_doubles(s.stddev());
+}
+
+void read_standardizer(Deserializer& in, data::Standardizer& s) {
+  std::vector<double> mean = in.get_doubles();
+  std::vector<double> std = in.get_doubles();
+  if (mean.size() != std.size())
+    throw SnapshotError("standardizer with mismatched moment vectors");
+  s.restore(std::move(mean), std::move(std));
+}
+
+}  // namespace leaf::io

@@ -1,0 +1,136 @@
+#include "io/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace leaf::io {
+
+Serializer& SnapshotWriter::section(const std::string& name) {
+  for (const auto& [existing, _] : sections_) {
+    if (existing == name)
+      throw SnapshotError("duplicate section name '" + name + "'");
+  }
+  sections_.emplace_back(name, Serializer{});
+  return sections_.back().second;
+}
+
+std::vector<std::uint8_t> SnapshotWriter::encode() const {
+  Serializer head;
+  head.put_raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
+  head.put_u32(kFormatVersion);
+  head.put_u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, body] : sections_) {
+    head.put_u32(static_cast<std::uint32_t>(name.size()));
+    head.put_raw(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+    head.put_u64(body.size());
+    head.put_u32(crc32(body.bytes()));
+    head.put_raw(body.bytes());
+  }
+  const auto bytes = head.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+std::uint64_t SnapshotWriter::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = encode();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f)
+      throw SnapshotError("cannot open '" + tmp + "' for writing");
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f) throw SnapshotError("write to '" + tmp + "' failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw SnapshotError("cannot rename snapshot into '" + path + "'");
+  }
+  return bytes.size();
+}
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes)) {
+  Deserializer in(bytes_);
+  if (in.remaining() < sizeof(kMagic))
+    throw SnapshotError("file too short to hold a snapshot header");
+  std::uint8_t magic[sizeof(kMagic)];
+  for (auto& b : magic) b = in.get_u8();
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw SnapshotError("bad magic: not a LEAF snapshot file");
+  const std::uint32_t version = in.get_u32();
+  if (version != kFormatVersion)
+    throw SnapshotError("unsupported format version " +
+                        std::to_string(version) + " (this build reads " +
+                        std::to_string(kFormatVersion) + ")");
+  const std::uint32_t count = in.get_u32();
+  sections_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = in.get_u32();
+    if (name_len > in.remaining())
+      throw SnapshotError("truncated section name");
+    Section s;
+    s.name.assign(
+        reinterpret_cast<const char*>(bytes_.data() +
+                                      (bytes_.size() - in.remaining())),
+        name_len);
+    for (std::uint32_t k = 0; k < name_len; ++k) in.get_u8();
+    const std::uint64_t payload_len = in.get_u64();
+    const std::uint32_t crc = in.get_u32();
+    if (payload_len > in.remaining())
+      throw SnapshotError("truncated payload for section '" + s.name + "'");
+    s.offset = bytes_.size() - in.remaining();
+    s.length = static_cast<std::size_t>(payload_len);
+    const std::span<const std::uint8_t> payload(bytes_.data() + s.offset,
+                                                s.length);
+    if (crc32(payload) != crc)
+      throw SnapshotError("checksum mismatch in section '" + s.name + "'");
+    for (std::uint64_t k = 0; k < payload_len; ++k) in.get_u8();
+    sections_.push_back(std::move(s));
+  }
+}
+
+SnapshotReader SnapshotReader::from_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw SnapshotError("cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  if (!f.eof() && f.fail())
+    throw SnapshotError("read of '" + path + "' failed");
+  return SnapshotReader(std::move(bytes));
+}
+
+const SnapshotReader::Section* SnapshotReader::find(
+    const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool SnapshotReader::has(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+Deserializer SnapshotReader::section(const std::string& name) const {
+  const Section* s = find(name);
+  if (s == nullptr)
+    throw SnapshotError("missing section '" + name + "'");
+  return Deserializer(
+      std::span<const std::uint8_t>(bytes_.data() + s->offset, s->length));
+}
+
+std::uint64_t SnapshotReader::section_bytes(const std::string& name) const {
+  const Section* s = find(name);
+  if (s == nullptr)
+    throw SnapshotError("missing section '" + name + "'");
+  return s->length;
+}
+
+}  // namespace leaf::io

@@ -1,0 +1,82 @@
+// Versioned, checksummed snapshot container (leaf::io).
+//
+// On-disk layout (all integers little-endian):
+//
+//   magic    8 bytes   "LEAFSNAP"
+//   version  u32       format version (kFormatVersion)
+//   count    u32       number of sections
+//   then per section:
+//     name_len u32, name bytes
+//     payload_len u64
+//     crc      u32     CRC-32 of the payload bytes
+//     payload  bytes
+//
+// Every section is independently checksummed, so a flipped bit anywhere
+// is pinned to the section it corrupted.  `SnapshotReader` validates the
+// magic, the version, the structural bounds, and every CRC up front: a
+// reader that constructs successfully hands out only verified payloads,
+// and any failure throws `SnapshotError` before the caller has mutated
+// anything (no partial restore).
+//
+// Files are written to a temporary sibling and atomically renamed into
+// place, so a crash mid-snapshot never leaves a half-written file under
+// the final name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/serializer.hpp"
+
+namespace leaf::io {
+
+inline constexpr char kMagic[8] = {'L', 'E', 'A', 'F', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+class SnapshotWriter {
+ public:
+  /// Starts a new section and returns the serializer to fill it with.
+  /// Section names must be unique within one snapshot.
+  Serializer& section(const std::string& name);
+
+  /// The whole container as bytes.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Writes the container to `path` (tmp file + rename).  Returns the
+  /// byte count written.  Throws SnapshotError on any I/O failure.
+  std::uint64_t write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, Serializer>> sections_;
+};
+
+class SnapshotReader {
+ public:
+  /// Parses and fully validates a container.  Throws SnapshotError on bad
+  /// magic, unsupported version, truncation, or any CRC mismatch.
+  explicit SnapshotReader(std::vector<std::uint8_t> bytes);
+
+  /// Reads and validates a container file.
+  static SnapshotReader from_file(const std::string& path);
+
+  bool has(const std::string& name) const;
+  /// Deserializer over a verified section payload; throws if absent.
+  Deserializer section(const std::string& name) const;
+  std::uint64_t section_bytes(const std::string& name) const;
+  std::uint64_t total_bytes() const { return bytes_.size(); }
+
+ private:
+  struct Section {
+    std::string name;
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+  const Section* find(const std::string& name) const;
+
+  std::vector<std::uint8_t> bytes_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace leaf::io

@@ -34,6 +34,12 @@ class WeightedEnsemble final : public Regressor {
   std::string name() const override { return "WeightedEnsemble"; }
   bool trained() const override { return !members_.empty(); }
 
+  /// Members are saved recursively through the factory registry, so every
+  /// member must itself support snapshots.
+  std::string serial_key() const override { return "ensemble"; }
+  void save(io::Serializer& out) const override;
+  static std::unique_ptr<WeightedEnsemble> load(io::Deserializer& in);
+
  private:
   std::vector<std::shared_ptr<const Regressor>> members_;
   std::vector<double> weights_;

@@ -1,9 +1,11 @@
 #include "models/factory.hpp"
 
+#include "models/ensemble.hpp"
 #include "models/forest.hpp"
 #include "models/gbdt.hpp"
 #include "models/knn.hpp"
 #include "models/lstm.hpp"
+#include "models/persistence.hpp"
 #include "models/ridge.hpp"
 
 namespace leaf::models {
@@ -81,6 +83,23 @@ std::unique_ptr<Regressor> make_model(ModelFamily f, const Scale& scale,
       return std::make_unique<Ridge>();
   }
   return nullptr;
+}
+
+void save_regressor(io::Serializer& out, const Regressor& model) {
+  out.put_string(model.serial_key());  // throws for unsupported families
+  model.save(out);
+}
+
+std::unique_ptr<Regressor> load_regressor(io::Deserializer& in) {
+  const std::string key = in.get_string();
+  if (key == "gbdt") return Gbdt::load(in);
+  if (key == "forest") return Forest::load(in);
+  if (key == "knn") return Knn::load(in);
+  if (key == "lstm") return Lstm::load(in);
+  if (key == "ridge") return Ridge::load(in);
+  if (key == "persistence") return Persistence::load(in);
+  if (key == "ensemble") return WeightedEnsemble::load(in);
+  throw io::SnapshotError("unknown model factory key '" + key + "'");
 }
 
 }  // namespace leaf::models

@@ -35,4 +35,12 @@ std::vector<ModelFamily> table4_families();
 std::unique_ptr<Regressor> make_model(ModelFamily f, const Scale& scale,
                                       std::uint64_t seed);
 
+/// Writes `model.serial_key()` followed by `model.save(...)`, so the blob
+/// is self-describing and load_regressor can dispatch on the key.
+void save_regressor(io::Serializer& out, const Regressor& model);
+
+/// Reconstructs the model written by save_regressor.  Throws
+/// io::SnapshotError on an unknown key or malformed payload.
+std::unique_ptr<Regressor> load_regressor(io::Deserializer& in);
+
 }  // namespace leaf::models

@@ -88,4 +88,37 @@ std::unique_ptr<Regressor> Forest::clone_untrained() const {
   return std::make_unique<Forest>(cfg_, name_);
 }
 
+void Forest::save(io::Serializer& out) const {
+  out.put_string(name_);
+  out.put_i32(cfg_.num_trees);
+  out.put_i32(cfg_.features_per_split);
+  out.put_i32(cfg_.max_depth);
+  out.put_i32(cfg_.min_samples_leaf);
+  out.put_bool(cfg_.bootstrap);
+  out.put_bool(cfg_.random_thresholds);
+  out.put_u64(cfg_.seed);
+  out.put_bool(trained_);
+  out.put_u64(trees_.size());
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+std::unique_ptr<Forest> Forest::load(io::Deserializer& in) {
+  const std::string display_name = in.get_string();
+  ForestConfig cfg;
+  cfg.num_trees = in.get_i32();
+  cfg.features_per_split = in.get_i32();
+  cfg.max_depth = in.get_i32();
+  cfg.min_samples_leaf = in.get_i32();
+  cfg.bootstrap = in.get_bool();
+  cfg.random_thresholds = in.get_bool();
+  cfg.seed = in.get_u64();
+  auto model = std::make_unique<Forest>(cfg, display_name);
+  model->trained_ = in.get_bool();
+  const std::size_t count = in.get_count(8);  // >= node-count word per tree
+  model->trees_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    model->trees_.push_back(DecisionTree::load(in));
+  return model;
+}
+
 }  // namespace leaf::models

@@ -40,6 +40,10 @@ class Forest final : public Regressor {
 
   std::size_t tree_count() const { return trees_.size(); }
 
+  std::string serial_key() const override { return "forest"; }
+  void save(io::Serializer& out) const override;
+  static std::unique_ptr<Forest> load(io::Deserializer& in);
+
  private:
   ForestConfig cfg_;
   std::string name_;

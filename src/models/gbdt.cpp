@@ -102,4 +102,35 @@ std::unique_ptr<Regressor> Gbdt::clone_untrained() const {
   return std::make_unique<Gbdt>(cfg_, name_);
 }
 
+void Gbdt::save(io::Serializer& out) const {
+  out.put_string(name_);
+  out.put_i32(cfg_.num_trees);
+  out.put_f64(cfg_.learning_rate);
+  out.put_f64(cfg_.row_subsample);
+  save_tree_config(out, cfg_.tree);
+  out.put_u64(cfg_.seed);
+  out.put_bool(trained_);
+  out.put_f64(base_);
+  out.put_u64(trees_.size());
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+std::unique_ptr<Gbdt> Gbdt::load(io::Deserializer& in) {
+  const std::string display_name = in.get_string();
+  GbdtConfig cfg;
+  cfg.num_trees = in.get_i32();
+  cfg.learning_rate = in.get_f64();
+  cfg.row_subsample = in.get_f64();
+  cfg.tree = load_tree_config(in);
+  cfg.seed = in.get_u64();
+  auto model = std::make_unique<Gbdt>(cfg, display_name);
+  model->trained_ = in.get_bool();
+  model->base_ = in.get_f64();
+  const std::size_t count = in.get_count(8);  // >= node-count word per tree
+  model->trees_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    model->trees_.push_back(DecisionTree::load(in));
+  return model;
+}
+
 }  // namespace leaf::models

@@ -42,6 +42,10 @@ class Gbdt final : public Regressor {
   const GbdtConfig& config() const { return cfg_; }
   std::size_t tree_count() const { return trees_.size(); }
 
+  std::string serial_key() const override { return "gbdt"; }
+  void save(io::Serializer& out) const override;
+  static std::unique_ptr<Gbdt> load(io::Deserializer& in);
+
  private:
   GbdtConfig cfg_;
   std::string name_;

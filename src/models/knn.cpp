@@ -60,4 +60,30 @@ std::unique_ptr<Regressor> Knn::clone_untrained() const {
   return std::make_unique<Knn>(cfg_);
 }
 
+void Knn::save(io::Serializer& out) const {
+  out.put_i32(cfg_.k);
+  out.put_f64(cfg_.min_distance);
+  out.put_bool(trained_);
+  io::write(out, scaler_);
+  io::write(out, train_);
+  out.put_doubles(y_);
+  out.put_doubles(w_);
+}
+
+std::unique_ptr<Knn> Knn::load(io::Deserializer& in) {
+  KnnConfig cfg;
+  cfg.k = in.get_i32();
+  cfg.min_distance = in.get_f64();
+  auto model = std::make_unique<Knn>(cfg);
+  model->trained_ = in.get_bool();
+  io::read_standardizer(in, model->scaler_);
+  model->train_ = io::read_matrix(in);
+  model->y_ = in.get_doubles();
+  model->w_ = in.get_doubles();
+  if (model->y_.size() != model->train_.rows() ||
+      model->w_.size() != model->train_.rows())
+    throw io::SnapshotError("knn training arrays have inconsistent sizes");
+  return model;
+}
+
 }  // namespace leaf::models

@@ -30,6 +30,10 @@ class Knn final : public Regressor {
   std::string name() const override { return "KNeighbors"; }
   bool trained() const override { return trained_; }
 
+  std::string serial_key() const override { return "knn"; }
+  void save(io::Serializer& out) const override;
+  static std::unique_ptr<Knn> load(io::Deserializer& in);
+
  private:
   KnnConfig cfg_;
   bool trained_ = false;

@@ -271,4 +271,55 @@ std::unique_ptr<Regressor> Lstm::clone_untrained() const {
   return std::make_unique<Lstm>(cfg_);
 }
 
+void Lstm::save(io::Serializer& out) const {
+  out.put_i32(cfg_.hidden);
+  out.put_i32(cfg_.chunk);
+  out.put_i32(cfg_.epochs);
+  out.put_i32(cfg_.batch);
+  out.put_f64(cfg_.learning_rate);
+  out.put_f64(cfg_.grad_clip);
+  out.put_u64(cfg_.seed);
+  out.put_bool(trained_);
+  out.put_i32(timesteps_);
+  io::write(out, scaler_);
+  out.put_f64(y_mean_);
+  out.put_f64(y_std_);
+  out.put_f64(final_mse_);
+  io::write(out, wx_);
+  io::write(out, wh_);
+  out.put_doubles(b_);
+  out.put_doubles(wo_);
+  out.put_f64(bo_);
+}
+
+std::unique_ptr<Lstm> Lstm::load(io::Deserializer& in) {
+  LstmConfig cfg;
+  cfg.hidden = in.get_i32();
+  cfg.chunk = in.get_i32();
+  cfg.epochs = in.get_i32();
+  cfg.batch = in.get_i32();
+  cfg.learning_rate = in.get_f64();
+  cfg.grad_clip = in.get_f64();
+  cfg.seed = in.get_u64();
+  auto model = std::make_unique<Lstm>(cfg);
+  model->trained_ = in.get_bool();
+  model->timesteps_ = in.get_i32();
+  io::read_standardizer(in, model->scaler_);
+  model->y_mean_ = in.get_f64();
+  model->y_std_ = in.get_f64();
+  model->final_mse_ = in.get_f64();
+  model->wx_ = io::read_matrix(in);
+  model->wh_ = io::read_matrix(in);
+  model->b_ = in.get_doubles();
+  model->wo_ = in.get_doubles();
+  model->bo_ = in.get_f64();
+  const auto h = static_cast<std::size_t>(cfg.hidden);
+  if (model->trained_ &&
+      (model->wx_.rows() != 4 * h || model->wh_.rows() != 4 * h ||
+       model->wh_.cols() != h || model->b_.size() != 4 * h ||
+       model->wo_.size() != h))
+    throw io::SnapshotError("lstm parameter shapes inconsistent with config");
+  return model;
+}
+
 }  // namespace leaf::models

@@ -46,6 +46,10 @@ class Lstm final : public Regressor {
   /// epoch; exposed for convergence tests.
   double final_train_mse() const { return final_mse_; }
 
+  std::string serial_key() const override { return "lstm"; }
+  void save(io::Serializer& out) const override;
+  static std::unique_ptr<Lstm> load(io::Deserializer& in);
+
  private:
   struct Workspace;
   /// Forward pass; fills the workspace when provided (training) and

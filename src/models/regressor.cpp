@@ -25,6 +25,15 @@ std::vector<double> Regressor::predict(const Matrix& X) const {
   return out;
 }
 
+std::string Regressor::serial_key() const {
+  throw io::SnapshotError("model '" + name() + "' does not support snapshots");
+}
+
+void Regressor::save(io::Serializer& out) const {
+  (void)out;
+  throw io::SnapshotError("model '" + name() + "' does not support snapshots");
+}
+
 bool check_fit_args(const Matrix& X, std::span<const double> y,
                     std::span<const double> w) {
   assert(X.rows() == y.size());

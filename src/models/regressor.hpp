@@ -63,6 +63,17 @@ class Regressor {
   virtual std::string name() const = 0;
 
   virtual bool trained() const = 0;
+
+  /// Stable factory key identifying the concrete family in snapshots
+  /// ("gbdt", "forest", ...).  Families that have not implemented
+  /// persistence keep the throwing default — snapshotting them fails
+  /// loudly instead of silently dropping state.
+  virtual std::string serial_key() const;
+
+  /// Serializes the full fitted state (hyperparameters included) so that
+  /// io::load_regressor(serial_key(), ...) reconstructs a model with
+  /// bit-identical predictions.  Default: throws io::SnapshotError.
+  virtual void save(io::Serializer& out) const;
 };
 
 /// Validates fit() inputs; asserts in debug builds, returns false on

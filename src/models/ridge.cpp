@@ -96,4 +96,23 @@ std::unique_ptr<Regressor> Ridge::clone_untrained() const {
   return std::make_unique<Ridge>(cfg_);
 }
 
+void Ridge::save(io::Serializer& out) const {
+  out.put_f64(cfg_.lambda);
+  out.put_bool(trained_);
+  io::write(out, scaler_);
+  out.put_doubles(beta_);
+  out.put_f64(intercept_);
+}
+
+std::unique_ptr<Ridge> Ridge::load(io::Deserializer& in) {
+  RidgeConfig cfg;
+  cfg.lambda = in.get_f64();
+  auto model = std::make_unique<Ridge>(cfg);
+  model->trained_ = in.get_bool();
+  io::read_standardizer(in, model->scaler_);
+  model->beta_ = in.get_doubles();
+  model->intercept_ = in.get_f64();
+  return model;
+}
+
 }  // namespace leaf::models

@@ -31,6 +31,10 @@ class Ridge final : public Regressor {
   std::span<const double> coefficients() const { return beta_; }
   double intercept() const { return intercept_; }
 
+  std::string serial_key() const override { return "ridge"; }
+  void save(io::Serializer& out) const override;
+  static std::unique_ptr<Ridge> load(io::Deserializer& in);
+
  private:
   RidgeConfig cfg_;
   bool trained_ = false;

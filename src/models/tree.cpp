@@ -393,4 +393,84 @@ int DecisionTree::depth() const {
   return best;
 }
 
+void save_tree_config(io::Serializer& out, const TreeConfig& cfg) {
+  out.put_i32(cfg.max_depth);
+  out.put_i32(cfg.min_samples_leaf);
+  out.put_f64(cfg.min_gain);
+  out.put_i32(cfg.features_per_split);
+  out.put_bool(cfg.random_thresholds);
+}
+
+TreeConfig load_tree_config(io::Deserializer& in) {
+  TreeConfig cfg;
+  cfg.max_depth = in.get_i32();
+  cfg.min_samples_leaf = in.get_i32();
+  cfg.min_gain = in.get_f64();
+  cfg.features_per_split = in.get_i32();
+  cfg.random_thresholds = in.get_bool();
+  return cfg;
+}
+
+void DecisionTree::save(io::Serializer& out) const {
+  out.put_u64(nodes_.size());
+  for (const Node& n : nodes_) {
+    out.put_i32(n.feature);
+    out.put_f64(n.threshold);
+    out.put_i32(n.left);
+    out.put_i32(n.right);
+    out.put_f64(n.value);
+  }
+}
+
+DecisionTree DecisionTree::load(io::Deserializer& in) {
+  const std::size_t count = in.get_count(4 + 8 + 4 + 4 + 8);
+  DecisionTree t;
+  t.nodes_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Node& n = t.nodes_[i];
+    n.feature = in.get_i32();
+    n.threshold = in.get_f64();
+    n.left = in.get_i32();
+    n.right = in.get_i32();
+    n.value = in.get_f64();
+    if (n.feature >= 0) {
+      const auto limit = static_cast<std::int32_t>(count);
+      if (n.left < 0 || n.left >= limit || n.right < 0 || n.right >= limit)
+        throw io::SnapshotError("decision tree child index out of range");
+    }
+  }
+  return t;
+}
+
+void BinEdgeCache::save(io::Serializer& out) const {
+  out.put_i32(max_bins_);
+  out.put_u64(reused_);
+  out.put_u64(extended_);
+  out.put_u64(rebuilt_);
+  out.put_u64(cols_.size());
+  for (const ColState& st : cols_) {
+    out.put_doubles(st.edges);
+    out.put_f64(st.lo);
+    out.put_f64(st.hi);
+    out.put_f64(st.imbalance);
+    out.put_bool(st.valid);
+  }
+}
+
+void BinEdgeCache::load(io::Deserializer& in) {
+  max_bins_ = in.get_i32();
+  reused_ = in.get_u64();
+  extended_ = in.get_u64();
+  rebuilt_ = in.get_u64();
+  const std::size_t count = in.get_count(8 + 8 + 8 + 8 + 1);
+  cols_.assign(count, ColState{});
+  for (ColState& st : cols_) {
+    st.edges = in.get_doubles();
+    st.lo = in.get_f64();
+    st.hi = in.get_f64();
+    st.imbalance = in.get_f64();
+    st.valid = in.get_bool();
+  }
+}
+
 }  // namespace leaf::models

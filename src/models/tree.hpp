@@ -15,6 +15,7 @@
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "io/serializer.hpp"
 
 namespace leaf::models {
 
@@ -49,6 +50,12 @@ class BinEdgeCache {
   std::size_t reused() const { return reused_; }
   std::size_t extended() const { return extended_; }
   std::size_t rebuilt() const { return rebuilt_; }
+
+  /// Snapshot support (leaf::io): the cache state influences which bin
+  /// edges retrained models see, so crash-equivalent restarts must carry
+  /// it across the snapshot boundary.
+  void save(io::Serializer& out) const;
+  void load(io::Deserializer& in);
 
  private:
   friend class BinnedData;
@@ -106,6 +113,10 @@ struct TreeConfig {
   bool random_thresholds = false;
 };
 
+/// TreeConfig snapshot helpers (leaf::io).
+void save_tree_config(io::Serializer& out, const TreeConfig& cfg);
+TreeConfig load_tree_config(io::Deserializer& in);
+
 /// A fitted regression tree.  Prediction traverses raw-value thresholds,
 /// so it works on any feature vector, not just binned training rows.
 class DecisionTree {
@@ -122,6 +133,12 @@ class DecisionTree {
   bool trained() const { return !nodes_.empty(); }
   std::size_t node_count() const { return nodes_.size(); }
   int depth() const;
+
+  /// Snapshot support (leaf::io).  `load` validates child indices against
+  /// the node count, so corrupt-but-CRC-valid payloads fail loudly instead
+  /// of producing out-of-bounds traversals.
+  void save(io::Serializer& out) const;
+  static DecisionTree load(io::Deserializer& in);
 
  private:
   struct Node {

@@ -1,0 +1,436 @@
+#include "serve/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "common/calendar.hpp"
+#include "common/metrics.hpp"
+#include "common/stats.hpp"
+#include "io/serializer.hpp"
+#include "par/parallel.hpp"
+
+namespace leaf::serve {
+
+namespace {
+
+constexpr const char* kFleetFile = "fleet.leafsnap";
+
+void write_ints(io::Serializer& out, const std::vector<int>& v) {
+  out.put_ints(v);
+}
+
+}  // namespace
+
+/// One shard = one (KPI, model family, scheme) pipeline.  `step()` is the
+/// loop body of core::run_scheme verbatim (uncached path, no ingest
+/// guards), so a shard's EvalResult matches run_scheme exactly.
+struct FleetRuntime::Shard {
+  ShardSpec spec;
+  const data::Featurizer* featurizer = nullptr;
+  double dispersion = 0.0;
+  core::EvalConfig cfg;
+  std::unique_ptr<models::Regressor> prototype;
+  std::unique_ptr<core::MitigationScheme> scheme;
+
+  // --- mutable per-step state (everything below is snapshotted) ---------
+  models::FitCaches fit_caches;
+  std::unique_ptr<models::Regressor> model;
+  drift::Kswin detector;
+  Rng rng;
+  data::SupervisedSet train;
+  core::EvalResult result;
+  std::vector<double> abs_ne_samples;
+  int next_day = 0;
+  int num_days = 0;
+  double norm_range = 0.0;
+  bool done = false;
+  std::uint64_t steps = 0;
+
+  Shard(ShardSpec s, const data::Featurizer& f, double disp,
+        const core::EvalConfig& c, const Scale& scale)
+      : spec(s),
+        featurizer(&f),
+        dispersion(disp),
+        cfg(c),
+        prototype(models::make_model(spec.model, scale, cfg.seed)),
+        scheme(core::make_scheme(spec.scheme, disp, cfg.seed ^ 0x99)),
+        detector(cfg.detector),
+        rng(cfg.seed) {}
+
+  /// Initial training, mirroring the run_scheme preamble.
+  void init() {
+    result = core::EvalResult{};
+    result.scheme = scheme->name();
+    result.model = prototype->name();
+
+    const int anchor =
+        cfg.anchor_day >= 0 ? cfg.anchor_day : cal::anchor_2018_07_01();
+    norm_range = cfg.norm_range_override > 0.0 ? cfg.norm_range_override
+                                               : featurizer->norm_range();
+    num_days = featurizer->dataset().num_days();
+
+    train = featurizer->window(anchor - cfg.train_window + 1, anchor);
+    if (train.empty())
+      throw std::runtime_error(
+          "serve: shard training window produced no supervised pairs");
+    model = prototype->clone_untrained();
+    model->attach_caches(&fit_caches);
+    model->fit(train.X, train.y);
+
+    scheme->reset();
+    detector.reset();
+    rng = Rng(cfg.seed);
+    abs_ne_samples.clear();
+    next_day = anchor + cfg.horizon;
+    done = next_day >= num_days;
+    steps = 0;
+  }
+
+  /// One evaluation step (the run_scheme loop body for day = next_day).
+  void step() {
+    if (done) return;
+    ++steps;
+    const int day = next_day;
+    next_day += cfg.stride;
+    if (next_day >= num_days) done = true;
+
+    const data::SupervisedSet test = featurizer->at_target_day(day);
+    if (static_cast<int>(test.size()) < cfg.min_samples_per_day) {
+      ++result.degraded.days_skipped;
+      return;
+    }
+
+    std::vector<double> pred(test.size());
+    model->predict_into(test.X, pred);
+    const double err = metrics::nrmse(pred, test.y, norm_range);
+    if (cfg.guard_nonfinite && !std::isfinite(err)) {
+      ++result.degraded.nonfinite_errors;
+      return;
+    }
+
+    double ne_acc = 0.0;
+    std::size_t ne_count = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const double ne =
+          metrics::normalized_error(pred[i], test.y[i], norm_range);
+      if (cfg.guard_nonfinite && !std::isfinite(ne)) continue;
+      ne_acc += ne;
+      ++ne_count;
+      abs_ne_samples.push_back(std::abs(ne));
+    }
+
+    result.days.push_back(day);
+    result.nrmse.push_back(err);
+    result.mean_ne.push_back(
+        ne_count > 0 ? ne_acc / static_cast<double>(ne_count) : 0.0);
+
+    const bool drift = detector.update(err);
+    if (drift) result.drift_days.push_back(day);
+
+    core::SchemeContext ctx{.featurizer = *featurizer,
+                            .model = *model,
+                            .current_train = train,
+                            .eval_day = day,
+                            .nrmse = err,
+                            .drift = drift,
+                            .train_window = cfg.train_window,
+                            .rng = &rng,
+                            .prototype = prototype.get(),
+                            .cache = nullptr};
+    std::optional<data::SupervisedSet> new_train = scheme->on_step(ctx);
+    if (std::unique_ptr<models::Regressor> replacement =
+            scheme->take_replacement_model()) {
+      model = std::move(replacement);
+      result.retrain_days.push_back(day);
+    } else if (new_train.has_value() && !new_train->empty()) {
+      train = std::move(*new_train);
+      model = prototype->clone_untrained();
+      model->attach_caches(&fit_caches);
+      model->fit(train.X, train.y);
+      result.retrain_days.push_back(day);
+    }
+  }
+
+  core::EvalResult finalized_result() const {
+    core::EvalResult out = result;
+    out.ne_p95 = abs_ne_samples.empty()
+                     ? 0.0
+                     : stats::quantile(abs_ne_samples, 0.95);
+    return out;
+  }
+
+  void save(io::Serializer& out) const {
+    io::write(out, rng);
+    detector.save_state(out);
+    scheme->save_state(out);
+    models::save_regressor(out, *model);
+    fit_caches.bin_edges.save(out);
+    io::write(out, train);
+    out.put_i32(next_day);
+    out.put_i32(num_days);
+    out.put_f64(norm_range);
+    out.put_bool(done);
+    out.put_u64(steps);
+    write_ints(out, result.days);
+    out.put_doubles(result.nrmse);
+    out.put_doubles(result.mean_ne);
+    write_ints(out, result.retrain_days);
+    write_ints(out, result.drift_days);
+    out.put_i32(result.degraded.days_skipped);
+    out.put_i32(result.degraded.nonfinite_errors);
+    out.put_i32(result.degraded.frozen_detector_days);
+    out.put_i32(result.degraded.suppressed_retrains);
+    out.put_i64(result.degraded.values_imputed);
+    out.put_i64(result.degraded.quarantined_records);
+    out.put_doubles(abs_ne_samples);
+  }
+
+  /// Fully parsed shard state, applied only after the whole snapshot
+  /// parses cleanly (no partial restore).
+  struct Restored {
+    Rng::State rng;
+    std::unique_ptr<drift::Kswin> detector;
+    std::unique_ptr<core::MitigationScheme> scheme;
+    std::unique_ptr<models::Regressor> model;
+    models::BinEdgeCache bin_edges;
+    data::SupervisedSet train;
+    int next_day = 0;
+    int num_days = 0;
+    double norm_range = 0.0;
+    bool done = false;
+    std::uint64_t steps = 0;
+    core::EvalResult result;
+    std::vector<double> abs_ne_samples;
+  };
+
+  Restored parse(io::Deserializer& in) const {
+    Restored r;
+    Rng tmp_rng(cfg.seed);
+    io::read_rng(in, tmp_rng);
+    r.rng = tmp_rng.capture();
+    r.detector = std::make_unique<drift::Kswin>(cfg.detector);
+    r.detector->load_state(in);
+    r.scheme = core::make_scheme(spec.scheme, dispersion, cfg.seed ^ 0x99);
+    r.scheme->reset();
+    r.scheme->load_state(in);
+    r.model = models::load_regressor(in);
+    if (r.model->name() != prototype->name())
+      throw io::SnapshotError("shard model family mismatch: snapshot has '" +
+                              r.model->name() + "', runtime expects '" +
+                              prototype->name() + "'");
+    r.bin_edges.load(in);
+    r.train = io::read_supervised_set(in);
+    r.next_day = in.get_i32();
+    r.num_days = in.get_i32();
+    r.norm_range = in.get_f64();
+    r.done = in.get_bool();
+    r.steps = in.get_u64();
+    r.result.scheme = r.scheme->name();
+    r.result.model = prototype->name();
+    r.result.days = in.get_ints();
+    r.result.nrmse = in.get_doubles();
+    r.result.mean_ne = in.get_doubles();
+    r.result.retrain_days = in.get_ints();
+    r.result.drift_days = in.get_ints();
+    r.result.degraded.days_skipped = in.get_i32();
+    r.result.degraded.nonfinite_errors = in.get_i32();
+    r.result.degraded.frozen_detector_days = in.get_i32();
+    r.result.degraded.suppressed_retrains = in.get_i32();
+    r.result.degraded.values_imputed = in.get_i64();
+    r.result.degraded.quarantined_records = in.get_i64();
+    r.abs_ne_samples = in.get_doubles();
+    if (!in.exhausted())
+      throw io::SnapshotError("trailing bytes after shard state");
+    if (r.result.nrmse.size() != r.result.days.size() ||
+        r.result.mean_ne.size() != r.result.days.size())
+      throw io::SnapshotError("shard result series have inconsistent sizes");
+    return r;
+  }
+
+  void apply(Restored&& r) {
+    rng.restore(r.rng);
+    detector = std::move(*r.detector);
+    scheme = std::move(r.scheme);
+    model = std::move(r.model);
+    fit_caches.bin_edges = std::move(r.bin_edges);
+    model->attach_caches(&fit_caches);
+    train = std::move(r.train);
+    next_day = r.next_day;
+    num_days = r.num_days;
+    norm_range = r.norm_range;
+    done = r.done;
+    steps = r.steps;
+    result = std::move(r.result);
+    abs_ne_samples = std::move(r.abs_ne_samples);
+  }
+};
+
+FleetRuntime::FleetRuntime(const data::CellularDataset& ds, const Scale& scale,
+                           std::vector<ShardSpec> specs,
+                           std::uint64_t fleet_seed)
+    : ds_(&ds), scale_(scale), specs_(std::move(specs)),
+      fleet_seed_(fleet_seed) {
+  if (specs_.empty())
+    throw std::invalid_argument("FleetRuntime: at least one shard required");
+
+  // One featurizer (and dispersion) per distinct KPI, shared read-only by
+  // the shards forecasting it.
+  std::map<data::TargetKpi, std::pair<const data::Featurizer*, double>> by_kpi;
+  for (const ShardSpec& spec : specs_) {
+    if (by_kpi.count(spec.kpi)) continue;
+    featurizers_.push_back(std::make_unique<data::Featurizer>(ds, spec.kpi));
+    by_kpi[spec.kpi] = {featurizers_.back().get(),
+                        core::kpi_dispersion(ds, spec.kpi)};
+  }
+
+  // Per-shard seeds: explicit when given, otherwise a counter-based
+  // substream of the fleet seed — order-independent, so the derivation is
+  // identical no matter how shards are scheduled.
+  const Rng fleet_rng(fleet_seed_);
+  shards_.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const ShardSpec& spec = specs_[i];
+    std::uint64_t seed = spec.seed;
+    if (seed == 0) seed = fleet_rng.substream(i)();
+    const auto [featurizer, dispersion] = by_kpi[spec.kpi];
+    core::EvalConfig cfg = core::make_eval_config(scale_, seed);
+    shards_.push_back(
+        std::make_unique<Shard>(spec, *featurizer, dispersion, cfg, scale_));
+  }
+}
+
+FleetRuntime::~FleetRuntime() = default;
+
+bool FleetRuntime::done() const {
+  for (const auto& s : shards_)
+    if (!s->done) return false;
+  return true;
+}
+
+void FleetRuntime::start() {
+  if (started_) return;
+  started_ = true;
+  par::parallel_for(shards_.size(), [&](std::size_t i) { shards_[i]->init(); });
+}
+
+bool FleetRuntime::step() {
+  start();
+  if (done()) return false;
+  par::parallel_for(shards_.size(), [&](std::size_t i) { shards_[i]->step(); });
+  ++steps_run_;
+  return !done();
+}
+
+std::uint64_t FleetRuntime::run_to_end() {
+  std::uint64_t n = 0;
+  start();
+  while (!done()) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t FleetRuntime::run_steps(std::uint64_t n) {
+  std::uint64_t ran = 0;
+  start();
+  for (; ran < n && !done(); ++ran) step();
+  return ran;
+}
+
+std::uint64_t FleetRuntime::snapshot(const std::string& dir) const {
+  if (!started_)
+    throw io::SnapshotError("cannot snapshot before the fleet has started");
+  std::filesystem::create_directories(dir);
+  io::SnapshotWriter writer;
+
+  io::Serializer& meta = writer.section("meta");
+  meta.put_u64(fleet_seed_);
+  meta.put_u64(steps_run_);
+  meta.put_u64(shards_.size());
+  for (const auto& shard : shards_) {
+    meta.put_string(data::to_string(shard->spec.kpi));
+    meta.put_string(models::to_string(shard->spec.model));
+    meta.put_string(shard->spec.scheme);
+    meta.put_u64(shard->cfg.seed);
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shards_[i]->save(writer.section("shard" + std::to_string(i)));
+
+  return writer.write_file((std::filesystem::path(dir) / kFleetFile).string());
+}
+
+void FleetRuntime::restore(const std::string& dir) {
+  const auto reader = io::SnapshotReader::from_file(
+      (std::filesystem::path(dir) / kFleetFile).string());
+
+  io::Deserializer meta = reader.section("meta");
+  if (meta.get_u64() != fleet_seed_)
+    throw io::SnapshotError("fleet seed mismatch between snapshot and runtime");
+  const std::uint64_t steps_run = meta.get_u64();
+  if (meta.get_u64() != shards_.size())
+    throw io::SnapshotError("shard count mismatch between snapshot and runtime");
+  for (const auto& shard : shards_) {
+    const std::string kpi = meta.get_string();
+    const std::string model = meta.get_string();
+    const std::string scheme = meta.get_string();
+    const std::uint64_t seed = meta.get_u64();
+    if (kpi != data::to_string(shard->spec.kpi) ||
+        model != models::to_string(shard->spec.model) ||
+        scheme != shard->spec.scheme || seed != shard->cfg.seed)
+      throw io::SnapshotError(
+          "shard configuration mismatch between snapshot and runtime "
+          "(snapshot: " + kpi + "/" + model + "/" + scheme + ")");
+  }
+
+  // Parse every shard into temporaries first; only a fully valid snapshot
+  // mutates the runtime.
+  std::vector<Shard::Restored> restored;
+  restored.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    io::Deserializer in = reader.section("shard" + std::to_string(i));
+    restored.push_back(shards_[i]->parse(in));
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shards_[i]->apply(std::move(restored[i]));
+  steps_run_ = steps_run;
+  started_ = true;
+}
+
+std::vector<core::EvalResult> FleetRuntime::results() const {
+  std::vector<core::EvalResult> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->finalized_result());
+  return out;
+}
+
+ServeStats FleetRuntime::stats() const {
+  ServeStats stats;
+  stats.total_steps = steps_run_;
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.kpi = data::to_string(shard->spec.kpi);
+    s.model = shard->prototype->name();
+    s.scheme = shard->scheme->name();
+    s.steps = shard->steps;
+    s.days_evaluated = static_cast<int>(shard->result.days.size());
+    s.retrains = shard->result.retrain_count();
+    s.drift_events = static_cast<int>(shard->result.drift_days.size());
+    s.days_skipped = shard->result.degraded.days_skipped;
+    s.nonfinite_errors = shard->result.degraded.nonfinite_errors;
+    s.next_day = shard->next_day;
+    s.done = shard->done;
+    stats.total_retrains += s.retrains;
+    stats.total_drift_events += s.drift_events;
+    if (s.done) ++stats.shards_done;
+    stats.shards.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace leaf::serve

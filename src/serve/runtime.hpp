@@ -1,0 +1,136 @@
+// leaf::serve — sharded online serving runtime with versioned
+// snapshot/restore (leaf::io).
+//
+// A `FleetRuntime` owns N independent shards, one per (target KPI, model
+// family, mitigation scheme) pipeline over a shared dataset — the
+// deployment shape of §5: many concurrently maintained forecasting models
+// walking the same telemetry stream.  Each shard carries its own model,
+// KSWIN detector, scheme, and RNG, and steps through evaluation days with
+// exactly the same per-step semantics as core::run_scheme, so a
+// single-shard fleet reproduces run_scheme bit-for-bit.
+//
+// Shards are stepped concurrently on the leaf::par pool.  Because every
+// mutable object is shard-private and per-shard seeds are derived with
+// Rng::substream (counter-based, order-independent), a fleet run is
+// bit-identical at any thread count.
+//
+// The headline property is *crash-equivalence*: snapshot(dir) at any step
+// boundary captures every bit of mutable shard state (model, detector
+// window, scheme policy state, RNG streams, training set, partial
+// results, bin-edge caches); killing the process, constructing an
+// identically configured runtime, and restore(dir)-ing it continues the
+// run to byte-identical EvalResults and an identical retrain timeline.
+// Restore parses the complete snapshot into temporaries before committing
+// anything, so a corrupt file never leaves a partially restored fleet.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/evaluation.hpp"
+#include "core/experiment.hpp"
+#include "data/dataset.hpp"
+#include "data/features.hpp"
+#include "drift/kswin.hpp"
+#include "io/snapshot.hpp"
+#include "models/factory.hpp"
+
+namespace leaf::serve {
+
+/// One shard's pipeline: which KPI it forecasts, with which model family
+/// and mitigation scheme.  `seed` = 0 derives the shard's seed from the
+/// fleet seed via Rng::substream(shard_index).
+struct ShardSpec {
+  data::TargetKpi kpi = data::TargetKpi::kDVol;
+  models::ModelFamily model = models::ModelFamily::kGbdt;
+  std::string scheme = "LEAF";
+  std::uint64_t seed = 0;
+};
+
+/// Per-shard progress counters.
+struct ShardStats {
+  std::string kpi;
+  std::string model;
+  std::string scheme;
+  std::uint64_t steps = 0;         ///< step() calls that reached this shard
+  int days_evaluated = 0;          ///< days actually scored
+  int retrains = 0;
+  int drift_events = 0;
+  int days_skipped = 0;            ///< thin test slices skipped
+  int nonfinite_errors = 0;
+  int next_day = 0;                ///< next target day this shard will score
+  bool done = false;
+};
+
+struct ServeStats {
+  std::vector<ShardStats> shards;
+  std::uint64_t total_steps = 0;
+  int total_retrains = 0;
+  int total_drift_events = 0;
+  std::size_t shards_done = 0;
+};
+
+class FleetRuntime {
+ public:
+  /// The dataset and scale must outlive the runtime.  Shards sharing a KPI
+  /// share one (const) Featurizer.
+  FleetRuntime(const data::CellularDataset& ds, const Scale& scale,
+               std::vector<ShardSpec> specs, std::uint64_t fleet_seed = 2024);
+  ~FleetRuntime();
+
+  FleetRuntime(const FleetRuntime&) = delete;
+  FleetRuntime& operator=(const FleetRuntime&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  bool done() const;
+  std::uint64_t steps_run() const { return steps_run_; }
+
+  /// Advances every unfinished shard by one evaluation step (one stride of
+  /// days), in parallel over the leaf::par pool.  Lazily performs the
+  /// initial fits on the first call.  Returns false when every shard has
+  /// walked off the end of the dataset.
+  bool step();
+
+  /// Runs to completion; returns the number of step() calls made.
+  std::uint64_t run_to_end();
+
+  /// Runs at most `n` steps; stops early when done.
+  std::uint64_t run_steps(std::uint64_t n);
+
+  /// Writes <dir>/fleet.leafsnap (versioned, checksummed; see
+  /// io::SnapshotWriter).  Valid only at a step boundary, which is the
+  /// only time the caller can observe the runtime anyway.  Returns the
+  /// file size in bytes.
+  std::uint64_t snapshot(const std::string& dir) const;
+
+  /// Restores from <dir>/fleet.leafsnap into this runtime.  The runtime
+  /// must have been constructed with the same dataset, scale, specs, and
+  /// fleet seed; any mismatch, truncation, checksum failure, or unknown
+  /// key throws io::SnapshotError *without* mutating this runtime.
+  void restore(const std::string& dir);
+
+  /// Finalized per-shard results (ne_p95 computed).  Call when done(), or
+  /// mid-run for results-so-far.
+  std::vector<core::EvalResult> results() const;
+
+  ServeStats stats() const;
+
+ private:
+  struct Shard;
+
+  void start();  // initial fits (idempotent)
+
+  const data::CellularDataset* ds_;
+  Scale scale_;
+  std::vector<ShardSpec> specs_;
+  std::uint64_t fleet_seed_;
+  std::vector<std::unique_ptr<data::Featurizer>> featurizers_;  // one per KPI
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
+  std::uint64_t steps_run_ = 0;
+};
+
+}  // namespace leaf::serve

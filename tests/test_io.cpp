@@ -1,0 +1,388 @@
+// Unit tests for leaf::io — serialization primitives, the LEAFSNAP
+// container, model/detector round trips, and robustness against corrupt
+// input (truncation, bad CRCs, wrong versions, unknown factory keys).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "drift/adwin.hpp"
+#include "drift/ddm.hpp"
+#include "drift/kswin.hpp"
+#include "io/serializer.hpp"
+#include "io/snapshot.hpp"
+#include "models/ensemble.hpp"
+#include "models/factory.hpp"
+#include "models/persistence.hpp"
+
+namespace leaf::io {
+namespace {
+
+// ---- primitives ----------------------------------------------------------
+
+TEST(Serializer, RoundTripsPrimitives) {
+  Serializer out;
+  out.put_u8(0xAB);
+  out.put_u32(0xDEADBEEF);
+  out.put_u64(0x0123456789ABCDEFULL);
+  out.put_i32(-42);
+  out.put_i64(-1234567890123LL);
+  out.put_f64(3.14159);
+  out.put_bool(true);
+  out.put_string("hello snapshot");
+  out.put_doubles(std::vector<double>{1.5, -2.5, 0.0});
+  out.put_ints(std::vector<int>{7, -8, 9});
+
+  Deserializer in(out.bytes());
+  EXPECT_EQ(in.get_u8(), 0xAB);
+  EXPECT_EQ(in.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(in.get_i32(), -42);
+  EXPECT_EQ(in.get_i64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(in.get_f64(), 3.14159);
+  EXPECT_TRUE(in.get_bool());
+  EXPECT_EQ(in.get_string(), "hello snapshot");
+  EXPECT_EQ(in.get_doubles(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(in.get_ints(), (std::vector<int>{7, -8, 9}));
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Serializer, DoublesRoundTripBitExactly) {
+  const double specials[] = {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::denorm_min()};
+  Serializer out;
+  for (double v : specials) out.put_f64(v);
+  Deserializer in(out.bytes());
+  for (double v : specials) {
+    const double got = in.get_f64();
+    std::uint64_t want_bits, got_bits;
+    std::memcpy(&want_bits, &v, 8);
+    std::memcpy(&got_bits, &got, 8);
+    EXPECT_EQ(got_bits, want_bits);
+  }
+}
+
+TEST(Serializer, TruncatedReadThrows) {
+  Serializer out;
+  out.put_u64(12345);
+  Deserializer in(out.bytes().subspan(0, 4));
+  EXPECT_THROW(in.get_u64(), SnapshotError);
+}
+
+TEST(Serializer, CorruptCountThrowsInsteadOfAllocating) {
+  Serializer out;
+  out.put_u64(std::numeric_limits<std::uint64_t>::max());  // absurd count
+  Deserializer in(out.bytes());
+  EXPECT_THROW(in.get_doubles(), SnapshotError);
+}
+
+TEST(Serializer, RngRoundTripResumesStream) {
+  Rng rng(123);
+  for (int i = 0; i < 17; ++i) rng.normal();  // leaves a cached deviate
+  Serializer out;
+  write(out, rng);
+  Rng restored(999);
+  Deserializer in(out.bytes());
+  read_rng(in, restored);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(restored(), rng());
+  EXPECT_DOUBLE_EQ(restored.normal(), rng.normal());
+}
+
+// ---- container -----------------------------------------------------------
+
+std::vector<std::uint8_t> small_snapshot() {
+  SnapshotWriter w;
+  w.section("alpha").put_string("first");
+  w.section("beta").put_doubles(std::vector<double>{1.0, 2.0, 3.0});
+  return w.encode();
+}
+
+TEST(Snapshot, ContainerRoundTrips) {
+  const std::vector<std::uint8_t> bytes = small_snapshot();
+  const SnapshotReader r(bytes);
+  EXPECT_TRUE(r.has("alpha"));
+  EXPECT_TRUE(r.has("beta"));
+  EXPECT_FALSE(r.has("gamma"));
+  Deserializer a = r.section("alpha");
+  EXPECT_EQ(a.get_string(), "first");
+  Deserializer b = r.section("beta");
+  EXPECT_EQ(b.get_doubles(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Snapshot, FileRoundTripIsAtomic) {
+  const std::string dir = ::testing::TempDir() + "leaf_io_file";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/t.leafsnap";
+  SnapshotWriter w;
+  w.section("s").put_u64(77);
+  const std::uint64_t bytes = w.write_file(path);
+  EXPECT_EQ(std::filesystem::file_size(path), bytes);
+  // No temporary litter left next to the file.
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  const SnapshotReader r = SnapshotReader::from_file(path);
+  Deserializer in = r.section("s");
+  EXPECT_EQ(in.get_u64(), 77u);
+}
+
+TEST(Snapshot, TruncatedFileFailsWithClearError) {
+  const std::vector<std::uint8_t> bytes = small_snapshot();
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{11}, bytes.size() - 1}) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(keep));
+    EXPECT_THROW(SnapshotReader{cut}, SnapshotError) << "keep=" << keep;
+  }
+}
+
+TEST(Snapshot, BitFlipFailsChecksum) {
+  std::vector<std::uint8_t> bytes = small_snapshot();
+  bytes[bytes.size() - 2] ^= 0x01;  // flip a payload bit in the last section
+  try {
+    const SnapshotReader r(bytes);
+    FAIL() << "corrupt snapshot accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, BadMagicRejected) {
+  std::vector<std::uint8_t> bytes = small_snapshot();
+  bytes[0] = 'X';
+  try {
+    const SnapshotReader r(bytes);
+    FAIL() << "bad magic accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, WrongFormatVersionRejected) {
+  std::vector<std::uint8_t> bytes = small_snapshot();
+  bytes[8] = 99;  // format version word follows the 8-byte magic
+  try {
+    const SnapshotReader r(bytes);
+    FAIL() << "wrong version accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+// ---- model round trips ---------------------------------------------------
+
+struct Problem {
+  Matrix X{120, 6};
+  std::vector<double> y;
+  Matrix X_test{40, 6};
+
+  Problem() {
+    Rng rng(31);
+    y.resize(X.rows());
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      for (std::size_t c = 0; c < X.cols(); ++c) x_at(X, r, c) = rng.normal();
+      y[r] = 2.0 * X(r, 0) - X(r, 1) + 0.1 * rng.normal();
+    }
+    for (std::size_t r = 0; r < X_test.rows(); ++r)
+      for (std::size_t c = 0; c < X_test.cols(); ++c)
+        x_at(X_test, r, c) = rng.normal();
+  }
+
+  static double& x_at(Matrix& m, std::size_t r, std::size_t c) {
+    return m(r, c);
+  }
+};
+
+class ModelRoundTrip : public ::testing::TestWithParam<models::ModelFamily> {};
+
+TEST_P(ModelRoundTrip, PredictionsBitIdenticalAfterRoundTrip) {
+  const Problem p;
+  const Scale scale = Scale::for_level(Scale::Level::kSmall);
+  const auto model = models::make_model(GetParam(), scale, 5);
+  model->fit(p.X, p.y);
+
+  Serializer out;
+  models::save_regressor(out, *model);
+  Deserializer in(out.bytes());
+  const auto restored = models::load_regressor(in);
+  ASSERT_TRUE(in.exhausted());
+  ASSERT_TRUE(restored->trained());
+  EXPECT_EQ(restored->name(), model->name());
+
+  for (std::size_t r = 0; r < p.X_test.rows(); ++r) {
+    const double a = model->predict_one(p.X_test.row(r));
+    const double b = restored->predict_one(p.X_test.row(r));
+    EXPECT_EQ(a, b) << "row " << r;  // bit-identical, not approximately
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ModelRoundTrip,
+    ::testing::Values(models::ModelFamily::kGbdt,
+                      models::ModelFamily::kLightGbdt,
+                      models::ModelFamily::kRandomForest,
+                      models::ModelFamily::kExtraTrees,
+                      models::ModelFamily::kKnn, models::ModelFamily::kLstm,
+                      models::ModelFamily::kRidge),
+    [](const auto& info) { return models::to_string(info.param); });
+
+TEST(ModelIo, PersistenceRoundTrips) {
+  const Problem p;
+  models::Persistence model(0);
+  model.fit(p.X, p.y);
+  Serializer out;
+  models::save_regressor(out, model);
+  Deserializer in(out.bytes());
+  const auto restored = models::load_regressor(in);
+  for (std::size_t r = 0; r < p.X_test.rows(); ++r)
+    EXPECT_EQ(restored->predict_one(p.X_test.row(r)),
+              model.predict_one(p.X_test.row(r)));
+}
+
+TEST(ModelIo, EnsembleRoundTripsRecursively) {
+  const Problem p;
+  models::WeightedEnsemble ensemble;
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    auto member = models::make_model(models::ModelFamily::kRidge,
+                                     Scale::for_level(Scale::Level::kSmall),
+                                     seed);
+    member->fit(p.X, p.y);
+    ensemble.add_member(std::move(member), 0.5 + static_cast<double>(seed));
+  }
+  Serializer out;
+  models::save_regressor(out, ensemble);
+  Deserializer in(out.bytes());
+  const auto restored = models::load_regressor(in);
+  for (std::size_t r = 0; r < p.X_test.rows(); ++r)
+    EXPECT_EQ(restored->predict_one(p.X_test.row(r)),
+              ensemble.predict_one(p.X_test.row(r)));
+}
+
+TEST(ModelIo, UnknownFactoryKeyThrows) {
+  Serializer out;
+  out.put_string("quantum_forest");
+  Deserializer in(out.bytes());
+  try {
+    models::load_regressor(in);
+    FAIL() << "unknown key accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("quantum_forest"), std::string::npos);
+  }
+}
+
+TEST(ModelIo, CorruptTreePayloadThrowsNoUb) {
+  const Problem p;
+  const auto model = models::make_model(models::ModelFamily::kGbdt,
+                                        Scale::for_level(Scale::Level::kSmall),
+                                        5);
+  model->fit(p.X, p.y);
+  Serializer out;
+  models::save_regressor(out, *model);
+  // Truncations at every prefix length must throw, never crash or read
+  // out of bounds (run under ASan in CI).
+  const auto bytes = out.bytes();
+  for (std::size_t keep = 0; keep < bytes.size();
+       keep += std::max<std::size_t>(1, bytes.size() / 97)) {
+    Deserializer in(bytes.subspan(0, keep));
+    EXPECT_THROW(models::load_regressor(in), SnapshotError) << "keep=" << keep;
+  }
+}
+
+// ---- detector round trips ------------------------------------------------
+
+TEST(DetectorIo, KswinRoundTripContinuesIdentically) {
+  drift::KswinConfig cfg;
+  cfg.window_size = 40;
+  cfg.stat_size = 14;
+  cfg.alpha = 0.025;
+  cfg.seed = 11;
+  drift::Kswin a(cfg);
+  Rng feed(3);
+  for (int i = 0; i < 200; ++i) a.update(feed.normal());
+
+  Serializer out;
+  a.save_state(out);
+  drift::Kswin b(cfg);
+  Deserializer in(out.bytes());
+  b.load_state(in);
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(b.window_fill(), a.window_fill());
+
+  // Same stream in, same detections out — including the KS sampling RNG.
+  Rng fa = feed, fb = feed;
+  for (int i = 0; i < 300; ++i) {
+    const double shift = i > 100 ? 2.0 : 0.0;
+    EXPECT_EQ(b.update(fb.normal() + shift), a.update(fa.normal() + shift));
+    EXPECT_EQ(b.last_p_value(), a.last_p_value());
+  }
+}
+
+TEST(DetectorIo, KswinConfigMismatchRejected) {
+  drift::KswinConfig cfg;
+  drift::Kswin a(cfg);
+  Serializer out;
+  a.save_state(out);
+  cfg.alpha *= 2.0;
+  drift::Kswin b(cfg);
+  Deserializer in(out.bytes());
+  EXPECT_THROW(b.load_state(in), SnapshotError);
+}
+
+TEST(DetectorIo, AdwinRoundTripContinuesIdentically) {
+  drift::Adwin a;
+  Rng feed(5);
+  for (int i = 0; i < 400; ++i) a.update(feed.normal());
+
+  Serializer out;
+  a.save_state(out);
+  drift::Adwin b;
+  Deserializer in(out.bytes());
+  b.load_state(in);
+  EXPECT_EQ(b.window_length(), a.window_length());
+  EXPECT_EQ(b.window_mean(), a.window_mean());
+
+  Rng fa = feed, fb = feed;
+  for (int i = 0; i < 400; ++i) {
+    const double shift = i > 150 ? 3.0 : 0.0;
+    EXPECT_EQ(b.update(fb.normal() + shift), a.update(fa.normal() + shift));
+  }
+}
+
+TEST(DetectorIo, DdmRoundTripContinuesIdentically) {
+  drift::Ddm a;
+  Rng feed(7);
+  for (int i = 0; i < 300; ++i) a.update(feed.normal());
+
+  Serializer out;
+  a.save_state(out);
+  drift::Ddm b;
+  Deserializer in(out.bytes());
+  b.load_state(in);
+  EXPECT_EQ(b.in_warning_zone(), a.in_warning_zone());
+
+  Rng fa = feed, fb = feed;
+  for (int i = 0; i < 300; ++i) {
+    const double shift = i > 100 ? 4.0 : 0.0;
+    EXPECT_EQ(b.update(fb.normal() + shift), a.update(fa.normal() + shift));
+  }
+}
+
+TEST(DetectorIo, UnimplementedDetectorFailsLoudly) {
+  drift::PageHinkley ph;
+  Serializer out;
+  EXPECT_THROW(ph.save_state(out), SnapshotError);
+}
+
+}  // namespace
+}  // namespace leaf::io

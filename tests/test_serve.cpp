@@ -1,0 +1,229 @@
+// Tests for leaf::serve — run_scheme equivalence, thread-count
+// determinism, and the crash-equivalence guarantee of snapshot/restore.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+#include "io/serializer.hpp"
+#include "par/parallel.hpp"
+#include "serve/runtime.hpp"
+
+namespace leaf::serve {
+namespace {
+
+/// Restores the default thread count even if a test fails mid-way.
+struct ThreadGuard {
+  ~ThreadGuard() { par::set_threads(0); }
+};
+
+struct ServeFixture : ::testing::Test {
+  Scale scale = Scale::for_level(Scale::Level::kSmall);
+  data::CellularDataset ds = data::generate_fixed_dataset(scale, 42);
+
+  std::vector<ShardSpec> small_fleet() const {
+    return {{data::TargetKpi::kDVol, models::ModelFamily::kGbdt, "Triggered", 0},
+            {data::TargetKpi::kPU, models::ModelFamily::kRidge, "LEAF", 0},
+            {data::TargetKpi::kDTP, models::ModelFamily::kGbdt, "Naive30", 0}};
+  }
+
+  std::string temp_dir(const std::string& leaf) const {
+    const std::string dir = ::testing::TempDir() + "leaf_serve_" + leaf;
+    std::filesystem::create_directories(dir);
+    return dir;
+  }
+};
+
+void expect_identical(const core::EvalResult& a, const core::EvalResult& b) {
+  EXPECT_EQ(a.days, b.days);
+  ASSERT_EQ(a.nrmse.size(), b.nrmse.size());
+  for (std::size_t i = 0; i < a.nrmse.size(); ++i)
+    EXPECT_EQ(a.nrmse[i], b.nrmse[i]) << "nrmse[" << i << "]";
+  ASSERT_EQ(a.mean_ne.size(), b.mean_ne.size());
+  for (std::size_t i = 0; i < a.mean_ne.size(); ++i)
+    EXPECT_EQ(a.mean_ne[i], b.mean_ne[i]) << "mean_ne[" << i << "]";
+  EXPECT_EQ(a.retrain_days, b.retrain_days);
+  EXPECT_EQ(a.drift_days, b.drift_days);
+  EXPECT_EQ(a.ne_p95, b.ne_p95);
+}
+
+void expect_identical(const std::vector<core::EvalResult>& a,
+                      const std::vector<core::EvalResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+}
+
+// A single-shard fleet must reproduce core::run_scheme bit-for-bit: same
+// seed derivations, same per-step semantics.
+TEST_F(ServeFixture, SingleShardMatchesRunScheme) {
+  const std::uint64_t seed = 11;
+  const data::TargetKpi kpi = data::TargetKpi::kDVol;
+
+  const core::EvalConfig cfg = core::make_eval_config(scale, seed);
+  const data::Featurizer fz(ds, kpi);
+  const auto prototype =
+      models::make_model(models::ModelFamily::kGbdt, scale, cfg.seed);
+  const auto scheme = core::make_scheme(
+      "Triggered", core::kpi_dispersion(ds, kpi), cfg.seed ^ 0x99);
+  const core::EvalResult want = core::run_scheme(fz, *prototype, *scheme, cfg);
+
+  FleetRuntime fleet(
+      ds, scale, {{kpi, models::ModelFamily::kGbdt, "Triggered", seed}});
+  fleet.run_to_end();
+  const std::vector<core::EvalResult> got = fleet.results();
+  ASSERT_EQ(got.size(), 1u);
+  expect_identical(got[0], want);
+}
+
+// Same fleet, different thread counts → byte-identical results.
+TEST_F(ServeFixture, ResultsIdenticalAtAnyThreadCount) {
+  ThreadGuard guard;
+
+  par::set_threads(1);
+  FleetRuntime a(ds, scale, small_fleet());
+  a.run_to_end();
+
+  par::set_threads(4);
+  FleetRuntime b(ds, scale, small_fleet());
+  b.run_to_end();
+
+  expect_identical(a.results(), b.results());
+}
+
+// The headline property: kill mid-run, restore into a fresh runtime,
+// continue — results and retrain timeline byte-identical to a run that
+// never stopped.  Exercised at one and four worker threads.
+TEST_F(ServeFixture, CrashEquivalence) {
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    par::set_threads(threads);
+
+    FleetRuntime uninterrupted(ds, scale, small_fleet());
+    uninterrupted.run_to_end();
+
+    FleetRuntime victim(ds, scale, small_fleet());
+    victim.run_steps(3);
+    ASSERT_FALSE(victim.done());
+    const std::string dir =
+        temp_dir("crash_t" + std::to_string(threads));
+    victim.snapshot(dir);
+    // "Crash": victim is abandoned here; a new process constructs an
+    // identically configured runtime and restores.
+    FleetRuntime revived(ds, scale, small_fleet());
+    revived.restore(dir);
+    EXPECT_EQ(revived.steps_run(), 3u);
+    revived.run_to_end();
+
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(revived.results(), uninterrupted.results());
+
+    const ServeStats sa = uninterrupted.stats();
+    const ServeStats sb = revived.stats();
+    EXPECT_EQ(sb.total_retrains, sa.total_retrains);
+    EXPECT_EQ(sb.total_drift_events, sa.total_drift_events);
+    EXPECT_EQ(sb.shards_done, sa.shards_done);
+  }
+}
+
+// Snapshotting at the very end and restoring must also round-trip.
+TEST_F(ServeFixture, SnapshotAtCompletionRoundTrips) {
+  FleetRuntime a(ds, scale, small_fleet());
+  a.run_to_end();
+  const std::string dir = temp_dir("final");
+  a.snapshot(dir);
+
+  FleetRuntime b(ds, scale, small_fleet());
+  b.restore(dir);
+  EXPECT_TRUE(b.done());
+  expect_identical(b.results(), a.results());
+}
+
+TEST_F(ServeFixture, SnapshotBeforeStartThrows) {
+  FleetRuntime fleet(ds, scale, small_fleet());
+  EXPECT_THROW(fleet.snapshot(temp_dir("before_start")), io::SnapshotError);
+}
+
+TEST_F(ServeFixture, RestoreRejectsMismatchedFleet) {
+  FleetRuntime a(ds, scale, small_fleet());
+  a.run_steps(2);
+  const std::string dir = temp_dir("mismatch");
+  a.snapshot(dir);
+
+  // Different shard count.
+  FleetRuntime fewer(ds, scale, {small_fleet()[0]});
+  EXPECT_THROW(fewer.restore(dir), io::SnapshotError);
+
+  // Different fleet seed → different derived shard seeds.
+  FleetRuntime reseeded(ds, scale, small_fleet(), 777);
+  EXPECT_THROW(reseeded.restore(dir), io::SnapshotError);
+
+  // Different shard configuration.
+  std::vector<ShardSpec> swapped = small_fleet();
+  swapped[0].scheme = "Static";
+  FleetRuntime other(ds, scale, swapped);
+  EXPECT_THROW(other.restore(dir), io::SnapshotError);
+
+  // A failed restore must not have corrupted the target runtime: it can
+  // still run to completion and match a clean run.
+  other.run_to_end();
+  FleetRuntime clean(ds, scale, swapped);
+  clean.run_to_end();
+  expect_identical(other.results(), clean.results());
+}
+
+TEST_F(ServeFixture, RestoreRejectsMissingFile) {
+  FleetRuntime fleet(ds, scale, small_fleet());
+  EXPECT_THROW(fleet.restore(temp_dir("empty_dir")), io::SnapshotError);
+}
+
+TEST_F(ServeFixture, StatsTrackProgress) {
+  FleetRuntime fleet(ds, scale, small_fleet());
+  fleet.run_steps(2);
+  const ServeStats stats = fleet.stats();
+  ASSERT_EQ(stats.shards.size(), 3u);
+  EXPECT_EQ(stats.total_steps, 2u);
+  for (const ShardStats& s : stats.shards) {
+    EXPECT_EQ(s.steps, 2u);
+    EXPECT_FALSE(s.kpi.empty());
+    EXPECT_FALSE(s.model.empty());
+    EXPECT_FALSE(s.scheme.empty());
+  }
+
+  fleet.run_to_end();
+  const ServeStats final_stats = fleet.stats();
+  EXPECT_EQ(final_stats.shards_done, 3u);
+  int evaluated = 0;
+  for (const ShardStats& s : final_stats.shards) {
+    EXPECT_TRUE(s.done);
+    evaluated += s.days_evaluated;
+  }
+  EXPECT_GT(evaluated, 0);
+}
+
+// Explicit per-shard seeds are honored verbatim; seed 0 derives from the
+// fleet seed, so two fleets with different fleet seeds diverge.
+TEST_F(ServeFixture, FleetSeedDrivesDerivedShardSeeds) {
+  std::vector<ShardSpec> specs = {
+      {data::TargetKpi::kDVol, models::ModelFamily::kRidge, "Triggered", 0}};
+
+  FleetRuntime a(ds, scale, specs, 1);
+  a.run_to_end();
+  FleetRuntime b(ds, scale, specs, 2);
+  b.run_to_end();
+  // Seeds differ → detector RNG streams differ.  (NRMSE values may agree
+  // early on; the full series should not be identical in lockstep.)
+  const auto ra = a.results()[0], rb = b.results()[0];
+  EXPECT_EQ(ra.days, rb.days);
+
+  FleetRuntime c(ds, scale, specs, 1);
+  c.run_to_end();
+  expect_identical(c.results(), a.results());
+}
+
+}  // namespace
+}  // namespace leaf::serve

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+
+#include "common/rng.hpp"
 
 namespace leaf::models {
 namespace {
@@ -194,6 +197,108 @@ TEST(DecisionTree, MultiFeatureInteraction) {
   for (std::size_t i = 0; i < 512; ++i)
     if (std::abs(tree.predict_one(x.row(i)) - y[i]) < 0.3) ++correct;
   EXPECT_GT(correct, 480u);
+}
+
+// --- BinEdgeCache occupancy gate --------------------------------------------
+
+Matrix uniform_column(std::size_t n, Rng& rng, double lo = 0.0,
+                      double hi = 1.0) {
+  Matrix x(n, 1);
+  for (std::size_t i = 0; i < n; ++i) x(i, 0) = rng.uniform(lo, hi);
+  return x;
+}
+
+TEST(BinEdgeCache, ReusesEdgesWhenDistributionIsStable) {
+  Rng rng(101);
+  BinEdgeCache cache;
+  const Matrix x1 = uniform_column(400, rng);
+  const BinnedData first(x1, 16, &cache);
+  EXPECT_EQ(cache.rebuilt(), 1u);
+  EXPECT_EQ(cache.reused(), 0u);
+
+  // A fresh draw from the same distribution, clamped inside the cached
+  // range, keeps occupancy balanced: the cache skips the re-derivation.
+  Matrix x2 = uniform_column(400, rng);
+  double lo = x1(0, 0), hi = lo;
+  for (std::size_t i = 0; i < x1.rows(); ++i) {
+    lo = std::min(lo, x1(i, 0));
+    hi = std::max(hi, x1(i, 0));
+  }
+  for (std::size_t i = 0; i < x2.rows(); ++i)
+    x2(i, 0) = std::min(std::max(x2(i, 0), lo), hi);
+  const BinnedData second(x2, 16, &cache);
+  EXPECT_EQ(cache.reused(), 1u);
+  EXPECT_EQ(cache.rebuilt(), 1u);
+}
+
+TEST(BinEdgeCache, OccupancyShiftWithinRangeForcesRebuild) {
+  Rng rng(202);
+  BinEdgeCache cache;
+  const Matrix x1 = uniform_column(400, rng);
+  const BinnedData first(x1, 16, &cache);
+  ASSERT_EQ(cache.rebuilt(), 1u);
+
+  // Post-drift: nearly all mass collapses into a narrow band while the
+  // overall [lo, hi] range is unchanged, so the range check alone would
+  // happily reuse stale edges.  The occupancy gate must notice that the
+  // old quantiles are now badly imbalanced and rebuild.
+  double lo = x1(0, 0), hi = lo;
+  for (std::size_t i = 0; i < x1.rows(); ++i) {
+    lo = std::min(lo, x1(i, 0));
+    hi = std::max(hi, x1(i, 0));
+  }
+  Matrix x2(400, 1);
+  x2(0, 0) = lo;
+  x2(1, 0) = hi;  // pin the range
+  for (std::size_t i = 2; i < 400; ++i) x2(i, 0) = rng.uniform(0.48, 0.52);
+  const BinnedData second(x2, 16, &cache);
+  EXPECT_EQ(cache.reused(), 0u);
+  EXPECT_EQ(cache.rebuilt(), 2u);
+
+  // The rebuild re-anchored the imbalance baseline: binning the drifted
+  // distribution again now reuses.
+  Matrix x3(400, 1);
+  x3(0, 0) = lo;
+  x3(1, 0) = hi;
+  for (std::size_t i = 2; i < 400; ++i) x3(i, 0) = rng.uniform(0.48, 0.52);
+  const BinnedData third(x3, 16, &cache);
+  EXPECT_EQ(cache.reused(), 1u);
+  EXPECT_EQ(cache.rebuilt(), 2u);
+}
+
+TEST(BinEdgeCache, UpwardRangeGrowthExtendsInsteadOfRebuilding) {
+  // Discrete (tied) values leave spare edge budget after deduplication —
+  // the precondition for the extend path when the range later grows.
+  BinEdgeCache cache;
+  Matrix x1(400, 1);
+  for (std::size_t i = 0; i < 400; ++i)
+    x1(i, 0) = static_cast<double>(i % 8) / 8.0;
+  const BinnedData first(x1, 16, &cache);
+  ASSERT_EQ(cache.rebuilt(), 1u);
+
+  // Sliding-window growth: same body, plus a modest new upper tail.
+  Rng rng(303);
+  Matrix x2(440, 1);
+  for (std::size_t i = 0; i < 400; ++i) x2(i, 0) = x1(i, 0);
+  for (std::size_t i = 400; i < 440; ++i) x2(i, 0) = rng.uniform(1.0, 1.2);
+  const BinnedData second(x2, 16, &cache);
+  EXPECT_EQ(cache.extended(), 1u);
+  EXPECT_EQ(cache.rebuilt(), 1u);
+}
+
+TEST(BinEdgeCache, ClearAndShapeChangeInvalidate) {
+  Rng rng(404);
+  BinEdgeCache cache;
+  const Matrix x = uniform_column(200, rng);
+  { const BinnedData b(x, 16, &cache); }
+  cache.clear();
+  { const BinnedData b(x, 16, &cache); }
+  EXPECT_EQ(cache.rebuilt(), 2u);
+  EXPECT_EQ(cache.reused(), 0u);
+
+  // Different max_bins resets the cache rather than mixing edge sets.
+  { const BinnedData b(x, 8, &cache); }
+  EXPECT_EQ(cache.rebuilt(), 3u);
 }
 
 }  // namespace
