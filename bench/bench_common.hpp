@@ -7,15 +7,19 @@
 //     (default ./bench_out) for external re-plotting.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/calendar.hpp"
 #include "common/config.hpp"
 #include "common/csv.hpp"
+#include "obs/metrics.hpp"
 
 namespace leaf::bench {
 
@@ -51,6 +55,32 @@ inline void banner(const char* exp_id, const char* what, const Scale& scale) {
   std::printf("scale=%s (LEAF_SCALE=small|medium|full to resize)\n",
               scale.name().c_str());
   std::printf("================================================================\n");
+}
+
+/// Best-of-`reps` wall milliseconds of `fn`, timed with the obs monotonic
+/// stopwatch.  Every rep is also recorded into the span site
+/// `bench.<name>`, so a bench's `"metrics"` JSON section carries its own
+/// timing distribution alongside the library's counters.
+inline double time_best_ms(const char* name, const std::function<void()>& fn,
+                           int reps = 3) {
+  obs::SpanSite& site = obs::MetricsRegistry::global().span_site(
+      std::string("bench.") + name);
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const obs::Stopwatch sw;
+    fn();
+    const double ms = sw.ms();
+    site.record_ns(static_cast<std::uint64_t>(ms * 1e6));
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+/// The process metrics registry as a JSON object, for embedding as the
+/// `"metrics"` section of a BENCH_*.json dump (cache hit rates, retrain
+/// counts, span timings).
+inline std::string metrics_json() {
+  return obs::MetricsRegistry::global().scrape_json();
 }
 
 /// Year tick labels for a day-indexed series (for ASCII x-axes).

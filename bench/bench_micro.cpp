@@ -9,9 +9,10 @@
 // speedups to $LEAF_BENCH_OUT/BENCH_parallel.json.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <fstream>
 #include <functional>
+#include <string_view>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "common/calendar.hpp"
@@ -170,25 +171,12 @@ BENCHMARK(BM_PermutationImportance)->Unit(benchmark::kMillisecond);
 
 // --- LEAF_THREADS scaling sweep -------------------------------------------
 
-/// Best-of-3 wall time of fn, in milliseconds.
-double time_best_ms(const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(
-        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return best;
-}
-
 struct SweepWorkload {
   const char* name;
   std::function<void()> body;
 };
 
-void run_thread_sweep() {
+void run_thread_sweep(bool smoke) {
   const auto& p = Problem::get();
   const Scale scale = Scale::for_level(Scale::Level::kSmall);
 
@@ -242,8 +230,12 @@ void run_thread_sweep() {
        }},
   };
 
-  const int sweep_threads[] = {1, 2, 4, 8};
-  std::printf("\nLEAF_THREADS scaling sweep (best-of-3 wall ms)\n");
+  // --smoke: one rep at 1 and 2 threads — enough to exercise every
+  // workload and produce a parseable BENCH_parallel.json in CI.
+  const std::vector<int> sweep_threads =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const int reps = smoke ? 1 : 3;
+  std::printf("\nLEAF_THREADS scaling sweep (best-of-%d wall ms)\n", reps);
   std::printf("%-24s", "workload");
   for (int t : sweep_threads) std::printf("  t=%-10d", t);
   std::printf("\n");
@@ -261,7 +253,7 @@ void run_thread_sweep() {
     bool first_run = true;
     for (int t : sweep_threads) {
       par::set_threads(t);
-      const double ms = time_best_ms(wl.body);
+      const double ms = bench::time_best_ms(wl.name, wl.body, reps);
       if (t == 1) serial_ms = ms;
       const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
       std::printf("  %7.2f/%4.2fx", ms, speedup);
@@ -273,7 +265,7 @@ void run_thread_sweep() {
     std::printf("\n");
     json << "]}";
   }
-  json << "\n  ]\n}\n";
+  json << "\n  ],\n  \"metrics\": " << bench::metrics_json() << "\n}\n";
   par::set_threads(0);  // restore the LEAF_THREADS / hardware default
   std::printf("wrote %s/BENCH_parallel.json\n", bench::out_dir().c_str());
 }
@@ -281,10 +273,23 @@ void run_thread_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --smoke before google-benchmark sees the argv.
+  bool smoke = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_thread_sweep();
+  run_thread_sweep(smoke);
   return 0;
 }

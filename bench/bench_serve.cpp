@@ -6,7 +6,6 @@
 // results at every thread count must be byte-identical to the
 // single-thread run.  Emits BENCH_serve.json next to the CSV dumps.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -83,10 +82,9 @@ int main() {
     for (int threads : thread_counts) {
       par::set_threads(threads);
       serve::FleetRuntime fleet(ds, scale, make_specs(n_shards), 2024);
-      const auto t0 = std::chrono::steady_clock::now();
+      const obs::Stopwatch sw;
       const std::uint64_t steps = fleet.run_to_end();
-      const auto t1 = std::chrono::steady_clock::now();
-      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      const double secs = sw.seconds();
 
       const std::vector<core::EvalResult> results = fleet.results();
       const std::size_t fp = fingerprint(results);
@@ -115,7 +113,8 @@ int main() {
     }
   }
   json << "\n  ],\n  \"determinism\": \"identical results at all thread "
-          "counts\"\n}\n";
+          "counts\",\n  \"metrics\": "
+       << bench::metrics_json() << "\n}\n";
   par::set_threads(0);
   bench::require_ok(csv);
   std::printf("\nwrote %s/BENCH_serve.json\n", bench::out_dir().c_str());

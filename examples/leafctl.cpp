@@ -34,6 +34,9 @@
 #include "core/experiment.hpp"
 #include "data/generator.hpp"
 #include "models/factory.hpp"
+#include "obs/events.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 #include "serve/runtime.hpp"
 
@@ -46,12 +49,36 @@ void usage(const char* argv0) {
                "usage: %s [--dataset fixed|evolving] [--kpi KPI] "
                "[--model MODEL] [--scheme SCHEME] [--seed N] [--stride N] "
                "[--train-window N] [--horizon N] [--csv FILE] [--threads N] "
-               "[--snapshot-dir DIR] [--list]\n"
+               "[--snapshot-dir DIR] [--metrics-out FILE] [--events-out FILE] "
+               "[--list]\n"
                "       %s serve [--dataset fixed|evolving] [--kpis A,B|all] "
                "[--model MODEL] [--scheme SCHEME] [--shards N] [--seed N] "
                "[--threads N] [--snapshot-every K] [--snapshot-dir DIR] "
-               "[--resume]\n",
+               "[--resume] [--metrics-out FILE] [--events-out FILE] "
+               "[--summary-every N]\n"
+               "flags: --metrics-out writes a Prometheus text scrape "
+               "(.json suffix: JSON); --events-out writes the drift-event "
+               "JSONL; LEAF_LOG_LEVEL=error|warn|info|debug controls stderr "
+               "verbosity\n",
                argv0, argv0);
+}
+
+/// Writes `content` to `path`; false (with an error log) on failure.
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    LEAF_LOG_ERROR("cannot write '%s'", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  if (!ok) LEAF_LOG_ERROR("short write to '%s'", path.c_str());
+  return ok;
+}
+
+bool wants_json(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
 }
 
 void list_options() {
@@ -83,10 +110,13 @@ int run_serve(int argc, char** argv) {
   std::string model_name = "GBDT";
   std::string scheme_spec = "LEAF";
   std::string snapshot_dir;
+  std::string metrics_out;
+  std::string events_out;
   std::uint64_t seed = 2024;
   int shards = 0;  // 0 = one per KPI
   int threads = -1;
   int snapshot_every = 0;
+  int summary_every = 20;
   bool resume = false;
 
   for (int i = 2; i < argc; ++i) {
@@ -118,6 +148,12 @@ int run_serve(int argc, char** argv) {
       snapshot_dir = next();
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--events-out") {
+      events_out = next();
+    } else if (arg == "--summary-every") {
+      summary_every = std::atoi(next());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -188,18 +224,27 @@ int run_serve(int argc, char** argv) {
               static_cast<unsigned long long>(seed));
 
   if (resume) {
-    fleet.restore(snapshot_dir);
-    std::printf("resumed from %s at step %llu\n", snapshot_dir.c_str(),
-                static_cast<unsigned long long>(fleet.steps_run()));
+    try {
+      fleet.restore(snapshot_dir);
+    } catch (const io::SnapshotError& e) {
+      LEAF_LOG_ERROR("resume from %s failed: %s", snapshot_dir.c_str(),
+                     e.what());
+      return 1;
+    }
+    LEAF_LOG_INFO("resumed from %s at step %llu", snapshot_dir.c_str(),
+                  static_cast<unsigned long long>(fleet.steps_run()));
   }
 
   while (fleet.step()) {
-    if (snapshot_every > 0 && fleet.steps_run() % snapshot_every == 0) {
-      const std::uint64_t bytes = fleet.snapshot(snapshot_dir);
-      std::printf("step %llu: snapshot -> %s (%llu bytes)\n",
-                  static_cast<unsigned long long>(fleet.steps_run()),
-                  snapshot_dir.c_str(),
-                  static_cast<unsigned long long>(bytes));
+    if (snapshot_every > 0 && fleet.steps_run() % snapshot_every == 0)
+      fleet.snapshot(snapshot_dir);  // logs at INFO internally
+    if (summary_every > 0 && fleet.steps_run() % summary_every == 0) {
+      const serve::ServeStats s = fleet.stats();
+      LEAF_LOG_INFO(
+          "serve: step %llu, shards %zu/%zu done, %d drift events, "
+          "%d retrains",
+          static_cast<unsigned long long>(s.total_steps), s.shards_done,
+          s.shards.size(), s.total_drift_events, s.total_retrains);
     }
   }
   if (!snapshot_dir.empty()) fleet.snapshot(snapshot_dir);
@@ -217,7 +262,19 @@ int run_serve(int argc, char** argv) {
                 results[i].avg_nrmse(), s.drift_events, s.retrains);
   }
   if (!snapshot_dir.empty())
-    std::printf("final snapshot in %s\n", snapshot_dir.c_str());
+    LEAF_LOG_INFO("final snapshot in %s", snapshot_dir.c_str());
+  if (!metrics_out.empty()) {
+    const std::string scrape = wants_json(metrics_out)
+                                   ? obs::MetricsRegistry::global().scrape_json()
+                                   : fleet.scrape();
+    if (!write_text_file(metrics_out, scrape)) return 1;
+    LEAF_LOG_INFO("metrics written to %s", metrics_out.c_str());
+  }
+  if (!events_out.empty()) {
+    if (!write_text_file(events_out, fleet.events_jsonl())) return 1;
+    LEAF_LOG_INFO("%zu drift events written to %s",
+                  fleet.merged_events().size(), events_out.c_str());
+  }
   return 0;
 }
 
@@ -233,6 +290,8 @@ int main(int argc, char** argv) {
   std::string scheme_spec = "LEAF";
   std::string csv_path;
   std::string snapshot_dir;
+  std::string metrics_out;
+  std::string events_out;
   std::uint64_t seed = 2024;
   int stride = -1, train_window = -1, horizon = -1, threads = -1;
 
@@ -267,6 +326,10 @@ int main(int argc, char** argv) {
       threads = std::atoi(next());
     } else if (arg == "--snapshot-dir") {
       snapshot_dir = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--events-out") {
+      events_out = next();
     } else if (arg == "--list") {
       list_options();
       return 0;
@@ -321,6 +384,9 @@ int main(int argc, char** argv) {
   const core::EvalResult static_run =
       core::run_scheme(featurizer, *model, static_scheme, cfg);
 
+  // Drift events are recorded for the mitigated run only (the static
+  // baseline never drifts or retrains by construction).
+  obs::EventLog event_log;
   core::EvalResult run = static_run;
   if (scheme_spec != "Static") {
     std::unique_ptr<core::MitigationScheme> scheme;
@@ -330,7 +396,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
+    cfg.events = &event_log;
     run = core::run_scheme(featurizer, *model, *scheme, cfg);
+    cfg.events = nullptr;
   }
 
   std::printf("\nevaluated %zu days (%s .. %s)\n", run.days.size(),
@@ -379,6 +447,18 @@ int main(int argc, char** argv) {
              fmt(run.mean_ne[i]), drift ? "1" : "0", retrain ? "1" : "0"});
     }
     std::printf("series written to %s\n", csv_path.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const std::string scrape =
+        wants_json(metrics_out) ? reg.scrape_json() : reg.scrape();
+    if (!write_text_file(metrics_out, scrape)) return 1;
+    LEAF_LOG_INFO("metrics written to %s", metrics_out.c_str());
+  }
+  if (!events_out.empty()) {
+    if (!write_text_file(events_out, event_log.to_jsonl())) return 1;
+    LEAF_LOG_INFO("%zu drift events written to %s", event_log.size(),
+                  events_out.c_str());
   }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/eval_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace leaf::core {
 
 namespace {
@@ -29,15 +31,27 @@ const data::SupervisedSet& EvalCache::memo(
     Map& map, std::uint64_t key,
     data::SupervisedSet (*compute)(const data::Featurizer&, int, int), int a,
     int b) {
+  // Hit/miss counters are *process* metrics: concurrent first requests for
+  // the same slice race benignly (both count a miss, one insert wins), so
+  // their values are schedule-dependent and excluded from determinism
+  // comparisons (DESIGN.md "Observability").
+  static obs::Counter& hits_ctr =
+      obs::MetricsRegistry::global().counter("leaf_cache_eval_hits_total");
+  static obs::Counter& misses_ctr =
+      obs::MetricsRegistry::global().counter("leaf_cache_eval_misses_total");
+  static obs::Gauge& bytes_gauge =
+      obs::MetricsRegistry::global().gauge("leaf_cache_eval_bytes");
   {
     std::lock_guard<std::mutex> lk(mu_);
     const auto it = map.find(key);
     if (it != map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_ctr.inc();
       return *it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_ctr.inc();
   auto value = std::make_unique<const data::SupervisedSet>(
       compute(*featurizer_, a, b));
   const std::size_t cost = payload_bytes(*value);
@@ -50,6 +64,7 @@ const data::SupervisedSet& EvalCache::memo(
     return *overflow_.back();
   }
   bytes_.fetch_add(cost, std::memory_order_relaxed);
+  bytes_gauge.set(static_cast<double>(bytes_.load(std::memory_order_relaxed)));
   return *map.emplace(key, std::move(value)).first->second;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -9,12 +10,19 @@
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "core/eval_cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace leaf::core {
 
 double EvalResult::avg_nrmse() const { return stats::mean(nrmse); }
 
 namespace {
+
+std::string fmt6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
 
 /// OUTAGE on either the day being scored or the day its features came
 /// from means the step's error is dominated by collection loss, not by
@@ -68,7 +76,28 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
   models::FitCaches fit_caches;
   std::unique_ptr<models::Regressor> model = prototype.clone_untrained();
   model->attach_caches(&fit_caches);
-  model->fit(train.X, train.y);
+  {
+    LEAF_SPAN("run_scheme.initial_fit");
+    model->fit(train.X, train.y);
+  }
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& steps_ctr = reg.counter("leaf_eval_steps_total");
+  obs::Counter& scored_ctr = reg.counter("leaf_eval_days_scored_total");
+  obs::Counter& skipped_ctr = reg.counter("leaf_eval_days_skipped_total");
+  obs::Counter& nonfinite_ctr = reg.counter("leaf_eval_nonfinite_total");
+  obs::Counter& frozen_ctr = reg.counter("leaf_eval_outage_frozen_total");
+  obs::Counter& drift_ctr = reg.counter("leaf_drift_events_total");
+  obs::Counter& retrain_ctr = reg.counter("leaf_retrains_total");
+  obs::Histogram& retrain_latency = reg.histogram(
+      "leaf_retrain_latency_seconds", obs::latency_buckets());
+  const std::string kpi_label = data::to_string(featurizer.target());
+  const auto emit = [&](obs::EventKind kind, int day, std::string detail,
+                        double seconds = 0.0) {
+    if (cfg.events == nullptr) return;
+    cfg.events->emit({kind, day, cfg.obs_shard, kpi_label, result.model,
+                      result.scheme, std::move(detail), seconds});
+  };
 
   scheme.reset();
   drift::Kswin detector(cfg.detector);
@@ -82,6 +111,7 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
   std::vector<double> pred;        // reused prediction buffer
 
   for (int day = first_eval; day < num_days; day += cfg.stride) {
+    steps_ctr.inc();
     const data::SupervisedSet* test_p;
     if (cfg.cache != nullptr) {
       test_p = &cfg.cache->at_target_day(day);
@@ -92,6 +122,7 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
     const data::SupervisedSet& test = *test_p;
     if (static_cast<int>(test.size()) < cfg.min_samples_per_day) {
       ++result.degraded.days_skipped;
+      skipped_ctr.inc();
       continue;
     }
 
@@ -102,6 +133,9 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
       // A corrupt test slice must poison neither the NRMSE series nor the
       // detector window; the step is skipped and accounted for.
       ++result.degraded.nonfinite_errors;
+      nonfinite_ctr.inc();
+      emit(obs::EventKind::kNonFinite, day,
+           "rows=" + std::to_string(test.size()));
       if (observer) observer(day, err, false, false);
       continue;
     }
@@ -113,10 +147,13 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
     if (outage_at_step(cfg.target_health, day, cfg.horizon)) {
       ++result.degraded.frozen_detector_days;
       ++result.degraded.suppressed_retrains;
+      frozen_ctr.inc();
+      emit(obs::EventKind::kOutageFreeze, day, "nrmse=" + fmt6(err));
       if (observer) observer(day, err, false, false);
       continue;
     }
     if (sink) sink(day, test, pred);
+    scored_ctr.inc();
 
     double ne_acc = 0.0;
     std::size_t ne_count = 0;
@@ -134,7 +171,13 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
         ne_count > 0 ? ne_acc / static_cast<double>(ne_count) : 0.0);
 
     const bool drift = detector.update(err);
-    if (drift) result.drift_days.push_back(day);
+    if (drift) {
+      result.drift_days.push_back(day);
+      drift_ctr.inc();
+      emit(obs::EventKind::kDrift, day,
+           "detector=KSWIN,p=" + fmt6(detector.last_p_value()) +
+               ",nrmse=" + fmt6(err));
+    }
 
     SchemeContext ctx{.featurizer = featurizer,
                       .model = *model,
@@ -145,7 +188,12 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
                       .train_window = cfg.train_window,
                       .rng = &rng,
                       .prototype = &prototype,
-                      .cache = cfg.cache};
+                      .cache = cfg.cache,
+                      .events = cfg.events,
+                      .shard = cfg.obs_shard};
+    // Wall-clock on the trigger→fit→swap path (scheme decision + refit);
+    // the clock is read only when obs is runtime-enabled.
+    const double retrain_t0 = obs::enabled() ? obs::monotonic_seconds() : 0.0;
     std::optional<data::SupervisedSet> new_train = scheme.on_step(ctx);
     bool retrained = false;
     if (std::unique_ptr<models::Regressor> replacement =
@@ -158,9 +206,20 @@ EvalResult run_scheme(const data::Featurizer& featurizer,
       train = std::move(*new_train);
       model = prototype.clone_untrained();
       model->attach_caches(&fit_caches);
-      model->fit(train.X, train.y);
+      {
+        LEAF_SPAN("run_scheme.retrain_fit");
+        model->fit(train.X, train.y);
+      }
       result.retrain_days.push_back(day);
       retrained = true;
+    }
+    if (retrained) {
+      const double secs =
+          obs::enabled() ? obs::monotonic_seconds() - retrain_t0 : 0.0;
+      retrain_ctr.inc();
+      retrain_latency.observe(secs);
+      emit(obs::EventKind::kRetrain, day,
+           "train_rows=" + std::to_string(train.size()), secs);
     }
     if (observer) observer(day, err, drift, retrained);
   }

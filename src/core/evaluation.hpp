@@ -25,6 +25,7 @@
 #include "ingest/health.hpp"
 #include "ingest/pipeline.hpp"
 #include "models/regressor.hpp"
+#include "obs/events.hpp"
 
 namespace leaf::core {
 
@@ -68,6 +69,15 @@ struct EvalConfig {
   /// core/eval_cache.hpp).  Bit-identical to recomputation; null = off.
   /// Must outlive the run and must have been built over `featurizer`.
   EvalCache* cache = nullptr;
+
+  // --- observability (leaf::obs integration) ------------------------------
+  /// Optional structured drift-event sink: every detector firing, retrain,
+  /// LEAF retrain rejection, OUTAGE freeze, and suppressed non-finite
+  /// error is recorded with day/KPI/model/scheme context.  Single-writer:
+  /// never share one log between concurrently running evaluations.
+  obs::EventLog* events = nullptr;
+  /// Serve shard index stamped on emitted events (-1 outside serve).
+  int obs_shard = -1;
 };
 
 /// What the graceful-degradation guards did during a run (all zero on a

@@ -2,13 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "common/stats.hpp"
 #include "explain/importance.hpp"
 #include "explain/lea.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 
 namespace leaf::core {
+
+namespace {
+std::string fmt6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+}  // namespace
 
 LeafScheme::LeafScheme(LeafConfig cfg, double target_dispersion)
     : cfg_(cfg), dispersion_(target_dispersion), rng_(cfg.seed) {}
@@ -26,6 +37,7 @@ std::string LeafScheme::name() const {
 std::optional<data::SupervisedSet> LeafScheme::on_step(
     const SchemeContext& ctx) {
   if (!ctx.drift) return std::nullopt;
+  LEAF_SPAN("leaf.mitigate");
 
   const data::SupervisedSet latest =
       latest_labeled_window(ctx, ctx.train_window);
@@ -119,7 +131,20 @@ std::optional<data::SupervisedSet> LeafScheme::on_step(
                                    ? cfg_.validation_tolerance_high
                                    : cfg_.validation_tolerance_low;
       if (w_sum > 0.0 && std::sqrt(cand_sq) > tolerance * std::sqrt(cur_sq)) {
-        return std::nullopt;  // the retrain would make things worse: skip
+        // The retrain would make things worse: veto it (and record why).
+        static obs::Counter& rejected_ctr =
+            obs::MetricsRegistry::global().counter(
+                "leaf_retrains_rejected_total");
+        rejected_ctr.inc();
+        if (ctx.events != nullptr) {
+          ctx.events->emit({obs::EventKind::kRetrainRejected, ctx.eval_day,
+                            ctx.shard,
+                            data::to_string(ctx.featurizer.target()),
+                            ctx.prototype->name(), name(),
+                            "contrast=" + fmt6(last_contrast_) + ",groups=" +
+                                std::to_string(last_groups_.size())});
+        }
+        return std::nullopt;
       }
     }
   }

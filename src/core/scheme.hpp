@@ -25,6 +25,10 @@
 #include "data/features.hpp"
 #include "models/regressor.hpp"
 
+namespace leaf::obs {
+class EventLog;
+}
+
 namespace leaf::core {
 
 class EvalCache;
@@ -46,6 +50,12 @@ struct SchemeContext {
   /// Optional slice memo shared across runs (see core/eval_cache.hpp);
   /// schemes route window materialization through it when present.
   EvalCache* cache = nullptr;
+  /// Optional drift-event sink (leaf::obs) for scheme-level decisions —
+  /// LEAF emits a `retrain_rejected` event when candidate validation
+  /// vetoes a retrain.  Single-writer; may be null.
+  obs::EventLog* events = nullptr;
+  /// Serve shard index stamped on emitted events (-1 outside serve).
+  int shard = -1;
 };
 
 class MitigationScheme {

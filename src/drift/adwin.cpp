@@ -129,10 +129,14 @@ bool Adwin::detect_cut() {
 }
 
 bool Adwin::update(double value) {
+  static DetectorCounters ctrs("ADWIN");
+  ctrs.updates.inc();
   insert(value);
   if (++since_check_ < cfg_.check_period) return false;
   since_check_ = 0;
-  return detect_cut();
+  const bool drift = detect_cut();
+  if (drift) ctrs.firings.inc();
+  return drift;
 }
 
 void Adwin::reset() {

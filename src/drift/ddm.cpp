@@ -10,6 +10,8 @@ Ddm::Ddm(DdmConfig cfg)
     : cfg_(cfg), binarizer_(cfg.binarize_alpha, cfg.binarize_k) {}
 
 bool Ddm::update(double value) {
+  static DetectorCounters ctrs("DDM");
+  ctrs.updates.inc();
   const bool error = binarizer_.push(value);
   ++n_;
   // Incremental Bernoulli mean and its standard error.
@@ -30,6 +32,7 @@ bool Ddm::update(double value) {
     s_ = 0.0;
     p_min_ = s_min_ = std::numeric_limits<double>::infinity();
     warning_ = false;
+    ctrs.firings.inc();
     return true;
   }
   warning_ = p_ + s_ > p_min_ + cfg_.warn_level * s_min_;
@@ -93,6 +96,8 @@ Eddm::Eddm(EddmConfig cfg)
     : cfg_(cfg), binarizer_(cfg.binarize_alpha, cfg.binarize_k) {}
 
 bool Eddm::update(double value) {
+  static DetectorCounters ctrs("EDDM");
+  ctrs.updates.inc();
   const bool error = binarizer_.push(value);
   ++t_;
   if (!error) return false;
@@ -125,6 +130,7 @@ bool Eddm::update(double value) {
     dist_mean_ = 0.0;
     dist_m2_ = 0.0;
     best_score_ = 0.0;
+    ctrs.firings.inc();
     return true;
   }
   return false;
@@ -155,6 +161,8 @@ double HddmA::hoeffding_bound(std::uint64_t n) const {
 }
 
 bool HddmA::update(double value) {
+  static DetectorCounters ctrs("HDDM-A");
+  ctrs.updates.inc();
   // Normalize into [0, 1] with the running range (Hoeffding assumes a
   // bounded variable).
   lo_ = std::min(lo_, value);
@@ -185,6 +193,7 @@ bool HddmA::update(double value) {
         hoeffding_bound(n_min_) + hoeffding_bound(n_rest);
     if (mean_rest - mean_best > eps) {
       rearm();
+      ctrs.firings.inc();
       return true;
     }
   }
@@ -214,6 +223,8 @@ std::unique_ptr<DriftDetector> HddmA::clone_fresh() const {
 PageHinkley::PageHinkley(PageHinkleyConfig cfg) : cfg_(cfg) {}
 
 bool PageHinkley::update(double value) {
+  static DetectorCounters ctrs("PageHinkley");
+  ctrs.updates.inc();
   ++n_;
   mean_ = mean_ * cfg_.forgetting + value * (1.0 - cfg_.forgetting);
   if (n_ == 1) mean_ = value;
@@ -224,6 +235,7 @@ bool PageHinkley::update(double value) {
     const double m = mean_;
     reset();
     mean_ = m;  // keep the level estimate across the concept switch
+    ctrs.firings.inc();
     return true;
   }
   return false;

@@ -15,8 +15,23 @@
 #include <vector>
 
 #include "io/serializer.hpp"
+#include "obs/metrics.hpp"
 
 namespace leaf::drift {
+
+/// Update/firing counter pair for one detector family
+/// (`leaf_detector_updates_total` / `leaf_detector_firings_total` with a
+/// `detector="..."` label).  Implementations hoist one as a static local
+/// in update(), so the registry lookup happens once per family.
+struct DetectorCounters {
+  obs::Counter& updates;
+  obs::Counter& firings;
+  explicit DetectorCounters(const char* detector)
+      : updates(obs::MetricsRegistry::global().counter(
+            "leaf_detector_updates_total", obs::label("detector", detector))),
+        firings(obs::MetricsRegistry::global().counter(
+            "leaf_detector_firings_total", obs::label("detector", detector))) {}
+};
 
 class DriftDetector {
  public:

@@ -15,6 +15,8 @@ Kswin::Kswin(KswinConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 }
 
 bool Kswin::update(double value) {
+  static DetectorCounters ctrs("KSWIN");
+  ctrs.updates.inc();
   // Dirty telemetry guard: a NaN/Inf error value would contaminate the KS
   // window for `window_size` subsequent steps; drop it at the door.
   if (!std::isfinite(value)) return false;
@@ -40,6 +42,7 @@ bool Kswin::update(double value) {
     // Keep only the new concept's samples.
     window_.erase(window_.begin(),
                   window_.end() - static_cast<std::ptrdiff_t>(r));
+    ctrs.firings.inc();
     return true;
   }
   return false;

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "obs/events.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace leaf::ingest {
 
@@ -14,6 +19,7 @@ int IngestResult::outage_days(int column) const {
 IngestResult ingest_stream(const data::CellularDataset& like,
                            std::vector<TelemetryRecord> stream,
                            const IngestConfig& cfg) {
+  LEAF_SPAN("ingest.stream");
   const int num_days = like.num_days();
   const int num_kpis = like.num_kpis();
   const int num_enbs = static_cast<int>(like.profiles().size());
@@ -76,8 +82,26 @@ IngestResult ingest_stream(const data::CellularDataset& like,
   std::vector<int> valid_per_col(k, 0);
   std::vector<double> row(k, 0.0);
 
+  // Health-FSM transitions and per-day quarantine totals feed the
+  // structured event log; OUTAGE entries additionally warn on stderr.
+  const auto on_transition = [&cfg](int day, const std::string& entity,
+                                    HealthState from, HealthState to) {
+    if (from == to) return;
+    if (cfg.events != nullptr) {
+      cfg.events->emit({obs::EventKind::kHealthTransition, day, -1, "", "", "",
+                        "entity=" + entity + ",from=" + to_string(from) +
+                            ",to=" + to_string(to)});
+    }
+    if (to == HealthState::kOutage) {
+      LEAF_LOG_WARN("ingest: %s entered OUTAGE on day %d", entity.c_str(),
+                    day);
+    }
+  };
+
   std::size_t pos = 0;
   for (int d = 0; d < num_days; ++d) {
+    const std::int64_t q_records_before = rep.quarantined_records;
+    const std::int64_t q_values_before = rep.quarantined_values;
     imputer.begin_day(d);
     for (auto& s : slots) s.rec = nullptr;
     std::fill(valid_per_col.begin(), valid_per_col.end(), 0);
@@ -183,8 +207,12 @@ IngestResult ingest_stream(const data::CellularDataset& like,
           slot.rec != nullptr
               ? static_cast<double>(slot.good_count) / static_cast<double>(k)
               : 0.0;
-      res.enb_health[static_cast<std::size_t>(e)][static_cast<std::size_t>(d)] =
+      const HealthState enb_prev = enb_tracker[static_cast<std::size_t>(e)].state();
+      const HealthState enb_now =
           enb_tracker[static_cast<std::size_t>(e)].step(enb_frac);
+      res.enb_health[static_cast<std::size_t>(e)][static_cast<std::size_t>(d)] =
+          enb_now;
+      on_transition(d, "enb:" + std::to_string(e), enb_prev, enb_now);
     }
     res.clean.append_day(std::move(out_enbs), std::move(out_values));
 
@@ -193,8 +221,45 @@ IngestResult ingest_stream(const data::CellularDataset& like,
           expected > 0 ? static_cast<double>(valid_per_col[c]) /
                              static_cast<double>(expected)
                        : 0.0;
-      res.kpi_health[c][static_cast<std::size_t>(d)] = kpi_tracker[c].step(frac);
+      const HealthState kpi_prev = kpi_tracker[c].state();
+      const HealthState kpi_now = kpi_tracker[c].step(frac);
+      res.kpi_health[c][static_cast<std::size_t>(d)] = kpi_now;
+      on_transition(d, "kpi:" + std::to_string(c), kpi_prev, kpi_now);
     }
+
+    const std::int64_t q_records = rep.quarantined_records - q_records_before;
+    const std::int64_t q_values = rep.quarantined_values - q_values_before;
+    if (cfg.events != nullptr && (q_records > 0 || q_values > 0)) {
+      cfg.events->emit({obs::EventKind::kQuarantine, d, -1, "", "", "",
+                        "records=" + std::to_string(q_records) +
+                            ",values=" + std::to_string(q_values)});
+    }
+  }
+
+  // Registry counters mirror the report so a scrape sees ingest activity
+  // without threading IngestReport through; one bulk add per call.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const auto bulk = [&reg](const char* name, std::int64_t v) {
+    if (v > 0) reg.counter(name).inc(static_cast<std::uint64_t>(v));
+  };
+  bulk("leaf_ingest_records_in_total", rep.records_in);
+  bulk("leaf_ingest_records_out_total", rep.records_out);
+  bulk("leaf_ingest_late_records_total", rep.late_records);
+  bulk("leaf_ingest_duplicates_dropped_total", rep.duplicates_dropped);
+  bulk("leaf_ingest_quarantined_values_total", rep.quarantined_values);
+  bulk("leaf_ingest_quarantined_records_total", rep.quarantined_records);
+  bulk("leaf_ingest_values_imputed_total", rep.values_imputed);
+  bulk("leaf_ingest_records_synthesized_total", rep.records_synthesized);
+  bulk("leaf_ingest_days_missing_total", rep.days_missing);
+  if (rep.quarantined_records > 0 || rep.quarantined_values > 0) {
+    LEAF_LOG_WARN(
+        "ingest: quarantined %lld records and %lld values out of %lld "
+        "(%lld imputed, %lld synthesized)",
+        static_cast<long long>(rep.quarantined_records),
+        static_cast<long long>(rep.quarantined_values),
+        static_cast<long long>(rep.records_in),
+        static_cast<long long>(rep.values_imputed),
+        static_cast<long long>(rep.records_synthesized));
   }
   return res;
 }

@@ -27,6 +27,10 @@
 #include "ingest/health.hpp"
 #include "ingest/validator.hpp"
 
+namespace leaf::obs {
+class EventLog;
+}
+
 namespace leaf::ingest {
 
 struct IngestConfig {
@@ -34,6 +38,10 @@ struct IngestConfig {
   HealthConfig health;
   /// Leading slice of the stream used to fit per-KPI plausibility bounds.
   int bounds_fit_days = 180;
+  /// Optional structured event sink (leaf::obs): health-FSM transitions
+  /// and per-day quarantine aggregates are recorded here.  Single-writer;
+  /// may be null.
+  obs::EventLog* events = nullptr;
 };
 
 /// Counts of every intervention the pipeline made.

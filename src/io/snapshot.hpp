@@ -33,7 +33,9 @@
 namespace leaf::io {
 
 inline constexpr char kMagic[8] = {'L', 'E', 'A', 'F', 'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: serve shard sections carry the shard's obs::EventLog (crash-
+// equivalent drift-event telemetry across snapshot/restore).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 class SnapshotWriter {
  public:

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 
 namespace leaf::models {
@@ -30,6 +31,10 @@ Forest::Forest(ForestConfig cfg, std::string display_name)
 
 void Forest::fit(const Matrix& X, std::span<const double> y,
                  std::span<const double> w) {
+  LEAF_SPAN("fit.Forest");
+  static obs::Counter& fits_ctr = obs::MetricsRegistry::global().counter(
+      "leaf_model_fits_total", obs::label("family", "Forest"));
+  fits_ctr.inc();
   trained_ = false;
   trees_.clear();
   if (!check_fit_args(X, y, w)) return;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 
 namespace leaf::models {
@@ -38,6 +39,10 @@ Gbdt::Gbdt(GbdtConfig cfg, std::string display_name)
 
 void Gbdt::fit(const Matrix& X, std::span<const double> y,
                std::span<const double> w) {
+  LEAF_SPAN("fit.GBDT");
+  static obs::Counter& fits_ctr = obs::MetricsRegistry::global().counter(
+      "leaf_model_fits_total", obs::label("family", "GBDT"));
+  fits_ctr.inc();
   trained_ = false;
   trees_.clear();
   if (!check_fit_args(X, y, w)) return;

@@ -4,12 +4,18 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace leaf::models {
 
 Knn::Knn(KnnConfig cfg) : cfg_(cfg) {}
 
 void Knn::fit(const Matrix& X, std::span<const double> y,
               std::span<const double> w) {
+  LEAF_SPAN("fit.KNN");
+  static obs::Counter& fits_ctr = obs::MetricsRegistry::global().counter(
+      "leaf_model_fits_total", obs::label("family", "KNN"));
+  fits_ctr.inc();
   trained_ = false;
   if (!check_fit_args(X, y, w)) return;
   scaler_.fit(X);

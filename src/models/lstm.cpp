@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "common/stats.hpp"
 
 namespace leaf::models {
@@ -92,6 +93,10 @@ double Lstm::forward(std::span<const double> z, Workspace* ws) const {
 
 void Lstm::fit(const Matrix& X, std::span<const double> y,
                std::span<const double> w) {
+  LEAF_SPAN("fit.LSTM");
+  static obs::Counter& fits_ctr = obs::MetricsRegistry::global().counter(
+      "leaf_model_fits_total", obs::label("family", "LSTM"));
+  fits_ctr.inc();
   trained_ = false;
   if (!check_fit_args(X, y, w)) return;
   const int H = cfg_.hidden;

@@ -2,12 +2,17 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 
 namespace leaf::models {
 
 void Regressor::predict_into(const Matrix& X, std::span<double> out) const {
   assert(out.size() == X.rows());
+  LEAF_SPAN("predict.batch");
+  static obs::Counter& rows_ctr =
+      obs::MetricsRegistry::global().counter("leaf_predict_rows_total");
+  rows_ctr.inc(X.rows());
   // Per-row parallelism (KNN's distance scans dominate here); per-row
   // outputs land in per-row slots, so thread count cannot affect results.
   // Tiny batches stay serial — dispatch would outweigh the work.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace leaf::models {
 
 bool cholesky_solve(Matrix& a, std::vector<double>& b) {
@@ -40,6 +42,10 @@ Ridge::Ridge(RidgeConfig cfg) : cfg_(cfg) {}
 
 void Ridge::fit(const Matrix& X, std::span<const double> y,
                 std::span<const double> w) {
+  LEAF_SPAN("fit.Ridge");
+  static obs::Counter& fits_ctr = obs::MetricsRegistry::global().counter(
+      "leaf_model_fits_total", obs::label("family", "Ridge"));
+  fits_ctr.inc();
   trained_ = false;
   if (!check_fit_args(X, y, w)) return;
   scaler_.fit(X);

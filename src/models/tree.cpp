@@ -5,9 +5,18 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 
 namespace leaf::models {
+
+namespace {
+// Bin-edge cache outcome counters (retrain-scoped cache, see BinEdgeCache).
+obs::Counter& binedge_ctr(const char* outcome) {
+  return obs::MetricsRegistry::global().counter(
+      "leaf_cache_binedge_total", obs::label("outcome", outcome));
+}
+}  // namespace
 
 BinnedData::BinnedData(const Matrix& X, int max_bins, BinEdgeCache* cache)
     : rows_(X.rows()), cols_(X.cols()) {
@@ -67,6 +76,8 @@ BinnedData::BinnedData(const Matrix& X, int max_bins, BinEdgeCache* cache)
       edges = st->edges;
       if (still_balanced()) {
         ++cache->reused_;
+        static obs::Counter& ctr = binedge_ctr("reused");
+        ctr.inc();
         built = true;
       }
     } else if (st != nullptr && st->valid && lo >= st->lo && hi > st->hi &&
@@ -98,6 +109,8 @@ BinnedData::BinnedData(const Matrix& X, int max_bins, BinEdgeCache* cache)
           st->edges = edges;
           st->hi = hi;
           ++cache->extended_;
+          static obs::Counter& ctr = binedge_ctr("extended");
+          ctr.inc();
           built = true;
         }
       }
@@ -126,6 +139,8 @@ BinnedData::BinnedData(const Matrix& X, int max_bins, BinEdgeCache* cache)
         st->imbalance = imbalance;  // staleness is judged against this
         st->valid = true;
         ++cache->rebuilt_;
+        static obs::Counter& ctr = binedge_ctr("rebuilt");
+        ctr.inc();
       }
     }
     bin_count_[c] = static_cast<int>(edges.size()) + 1;

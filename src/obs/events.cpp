@@ -1,0 +1,128 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/calendar.hpp"
+#include "obs/metrics.hpp"
+
+namespace leaf::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kDrift: return "drift";
+    case EventKind::kRetrain: return "retrain";
+    case EventKind::kRetrainRejected: return "retrain_rejected";
+    case EventKind::kOutageFreeze: return "outage_freeze";
+    case EventKind::kNonFinite: return "nonfinite_error";
+    case EventKind::kHealthTransition: return "health_transition";
+    case EventKind::kQuarantine: return "quarantine";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void append_event_jsonl(std::string& out, const Event& e, bool with_timing) {
+  out += "{\"event\": \"";
+  out += to_string(e.kind);
+  out += '"';
+  if (e.day >= 0) {
+    out += ", \"day\": " + std::to_string(e.day);
+    out += ", \"date\": " + json_str(cal::day_to_string(e.day));
+  }
+  if (e.shard >= 0) out += ", \"shard\": " + std::to_string(e.shard);
+  if (!e.kpi.empty()) out += ", \"kpi\": " + json_str(e.kpi);
+  if (!e.model.empty()) out += ", \"model\": " + json_str(e.model);
+  if (!e.scheme.empty()) out += ", \"scheme\": " + json_str(e.scheme);
+  if (!e.detail.empty()) out += ", \"detail\": " + json_str(e.detail);
+  if (with_timing && e.seconds > 0.0) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", e.seconds);
+    out += ", \"elapsed_seconds\": ";
+    out += buf;
+  }
+  out += "}\n";
+}
+
+}  // namespace
+
+void EventLog::emit(Event e) {
+  if constexpr (!kCompiledIn) {
+    (void)e;
+    return;
+  }
+  if (!enabled()) return;
+  events_.push_back(std::move(e));
+}
+
+std::string EventLog::to_jsonl(bool with_timing) const {
+  return to_jsonl(events_, with_timing);
+}
+
+std::string EventLog::to_jsonl(const std::vector<Event>& events,
+                               bool with_timing) {
+  std::string out;
+  for (const Event& e : events) append_event_jsonl(out, e, with_timing);
+  return out;
+}
+
+void EventLog::save(io::Serializer& out) const {
+  out.put_u64(events_.size());
+  for (const Event& e : events_) {
+    out.put_u8(static_cast<std::uint8_t>(e.kind));
+    out.put_i32(e.day);
+    out.put_i32(e.shard);
+    out.put_string(e.kpi);
+    out.put_string(e.model);
+    out.put_string(e.scheme);
+    out.put_string(e.detail);
+    out.put_f64(e.seconds);
+  }
+}
+
+void EventLog::load(io::Deserializer& in) {
+  // kind + day + shard + 4 length-prefixed strings + seconds.
+  const std::size_t count = in.get_count(1 + 4 + 4 + 4 * 4 + 8);
+  std::vector<Event> events(count);
+  for (Event& e : events) {
+    const std::uint8_t kind = in.get_u8();
+    if (kind > static_cast<std::uint8_t>(EventKind::kQuarantine))
+      throw io::SnapshotError("event log: unknown event kind " +
+                              std::to_string(static_cast<int>(kind)));
+    e.kind = static_cast<EventKind>(kind);
+    e.day = in.get_i32();
+    e.shard = in.get_i32();
+    e.kpi = in.get_string();
+    e.model = in.get_string();
+    e.scheme = in.get_string();
+    e.detail = in.get_string();
+    e.seconds = in.get_f64();
+  }
+  events_ = std::move(events);
+}
+
+std::vector<Event> EventLog::merge(const std::vector<const EventLog*>& logs) {
+  std::vector<Event> all;
+  std::size_t total = 0;
+  for (const EventLog* log : logs) total += log->size();
+  all.reserve(total);
+  for (const EventLog* log : logs)
+    all.insert(all.end(), log->events().begin(), log->events().end());
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.day < b.day || (a.day == b.day && a.shard < b.shard);
+  });
+  return all;
+}
+
+}  // namespace leaf::obs

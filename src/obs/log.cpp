@@ -1,0 +1,87 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace leaf::obs {
+
+namespace {
+
+std::atomic<int>& level_flag() {
+  static std::atomic<int> level = [] {
+    LogLevel parsed = LogLevel::kInfo;
+    const char* env = std::getenv("LEAF_LOG_LEVEL");
+    if (env != nullptr && !parse_log_level(env, parsed)) {
+      std::fprintf(stderr,
+                   "[leaf:warn] ignoring invalid LEAF_LOG_LEVEL='%s' "
+                   "(want error|warn|info|debug)\n",
+                   env);
+    }
+    return static_cast<int>(parsed);
+  }();
+  return level;
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_flag().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_flag().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool parse_log_level(const char* s, LogLevel& out) {
+  if (s == nullptr) return false;
+  std::string lower;
+  for (const char* p = s; *p != '\0'; ++p)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  if (lower == "error") out = LogLevel::kError;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::kWarn;
+  else if (lower == "info") out = LogLevel::kInfo;
+  else if (lower == "debug") out = LogLevel::kDebug;
+  else return false;
+  return true;
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <=
+         level_flag().load(std::memory_order_relaxed);
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  // One buffered write per message so concurrent shards don't interleave
+  // mid-line.
+  char buf[1024];
+  const int head = std::snprintf(buf, sizeof buf, "[leaf:%s] ", tag(level));
+  va_list args;
+  va_start(args, fmt);
+  int len = head + std::vsnprintf(buf + head, sizeof buf - head -
+                                                  static_cast<std::size_t>(2),
+                                  fmt, args);
+  va_end(args);
+  if (len < 0) return;
+  len = std::min<int>(len, sizeof buf - 2);
+  buf[len] = '\n';
+  buf[len + 1] = '\0';
+  std::fputs(buf, stderr);
+}
+
+}  // namespace leaf::obs

@@ -1,0 +1,49 @@
+// Tiny leveled stderr logger.
+//
+// Diagnostics (errors, quarantine warnings, snapshot progress, fleet
+// summaries) go to stderr with a level tag, keeping stdout clean for
+// program *output* (tables, CSV paths).  The threshold comes from the
+// LEAF_LOG_LEVEL environment variable (error | warn | info | debug,
+// default info) and can be overridden programmatically.
+//
+//   LEAF_LOG_ERROR("cannot write '%s'", path.c_str());
+//   LEAF_LOG_WARN("ingest quarantined %lld records", n);
+//   LEAF_LOG_INFO("step %llu: snapshot -> %s", step, dir.c_str());
+//   LEAF_LOG_DEBUG("shard %d next_day=%d", shard, day);
+#pragma once
+
+#include <cstdarg>
+
+namespace leaf::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Current threshold (messages at a level > this are dropped).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+/// Parses "error"/"warn"/"info"/"debug" (case-insensitive); returns false
+/// and leaves `out` untouched on anything else.
+bool parse_log_level(const char* s, LogLevel& out);
+
+bool log_enabled(LogLevel level);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace leaf::obs
+
+#define LEAF_LOG_ERROR(...) \
+  ::leaf::obs::logf(::leaf::obs::LogLevel::kError, __VA_ARGS__)
+#define LEAF_LOG_WARN(...) \
+  ::leaf::obs::logf(::leaf::obs::LogLevel::kWarn, __VA_ARGS__)
+#define LEAF_LOG_INFO(...) \
+  ::leaf::obs::logf(::leaf::obs::LogLevel::kInfo, __VA_ARGS__)
+#define LEAF_LOG_DEBUG(...) \
+  ::leaf::obs::logf(::leaf::obs::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,265 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace leaf::obs {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag = [] {
+    if constexpr (!kCompiledIn) return false;
+    const char* env = std::getenv("LEAF_OBS");
+    if (env != nullptr &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0))
+      return false;
+    return true;
+  }();
+  return flag;
+}
+
+/// Stable numeric formatting shared by both exposition formats (%.17g
+/// round-trips doubles; integers print without an exponent).
+std::string fmt_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prom_series(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+}  // namespace
+
+bool enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  enabled_flag().store(kCompiledIn && on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  if constexpr (!kCompiledIn) {
+    (void)v;
+    return;
+  }
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double prev = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(prev, prev + v,
+                                     std::memory_order_relaxed))
+    ;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds,
+                                      const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[{name, labels}];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+SpanSite& MetricsRegistry::span_site(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = spans_[name];
+  if (!slot) slot = std::make_unique<SpanSite>(name);
+  return *slot;
+}
+
+std::string MetricsRegistry::scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_name;
+  const auto type_line = [&out, &last_name](const std::string& name,
+                                            const char* type) {
+    if (name != last_name) {
+      out += "# TYPE " + name + " " + type + "\n";
+      last_name = name;
+    }
+  };
+
+  for (const auto& [key, c] : counters_) {
+    type_line(key.first, "counter");
+    out += prom_series(key.first, key.second) + " " +
+           fmt_value(static_cast<double>(c->value())) + "\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    type_line(key.first, "gauge");
+    out += prom_series(key.first, key.second) + " " + fmt_value(g->value()) +
+           "\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    type_line(key.first, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->bucket(i);
+      const std::string le = label("le", fmt_value(h->bounds()[i]));
+      out += key.first + "_bucket{" +
+             (key.second.empty() ? le : key.second + "," + le) + "} " +
+             fmt_value(static_cast<double>(cumulative)) + "\n";
+    }
+    cumulative += h->bucket(h->bounds().size());
+    const std::string le_inf = label("le", "+Inf");
+    out += key.first + "_bucket{" +
+           (key.second.empty() ? le_inf : key.second + "," + le_inf) + "} " +
+           fmt_value(static_cast<double>(cumulative)) + "\n";
+    out += prom_series(key.first + "_sum", key.second) + " " +
+           fmt_value(h->sum()) + "\n";
+    out += prom_series(key.first + "_count", key.second) + " " +
+           fmt_value(static_cast<double>(h->count())) + "\n";
+  }
+  // Span sites: the call count is a logical metric; the duration series
+  // carry `_seconds` so determinism checks mask them by name.
+  for (const auto& [name, site] : spans_) {
+    const std::string l = label("site", name);
+    type_line("leaf_span_calls_total", "counter");
+    out += "leaf_span_calls_total{" + l + "} " +
+           fmt_value(static_cast<double>(site->count())) + "\n";
+  }
+  for (const auto& [name, site] : spans_) {
+    const std::string l = label("site", name);
+    type_line("leaf_span_seconds_total", "counter");
+    out += "leaf_span_seconds_total{" + l + "} " +
+           fmt_value(site->total_seconds()) + "\n";
+  }
+  for (const auto& [name, site] : spans_) {
+    const std::string l = label("site", name);
+    type_line("leaf_span_seconds_max", "gauge");
+    out += "leaf_span_seconds_max{" + l + "} " +
+           fmt_value(site->max_seconds()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::scrape_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"metrics\": [";
+  bool first = true;
+  const auto head = [&](const Key& key, const char* type) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + json_escape(key.first) + "\", \"labels\": \"" +
+           json_escape(key.second) + "\", \"type\": \"" + type + "\"";
+  };
+  for (const auto& [key, c] : counters_) {
+    head(key, "counter");
+    out += ", \"value\": " + fmt_value(static_cast<double>(c->value())) + "}";
+  }
+  for (const auto& [key, g] : gauges_) {
+    head(key, "gauge");
+    out += ", \"value\": " + fmt_value(g->value()) + "}";
+  }
+  for (const auto& [key, h] : histograms_) {
+    head(key, "histogram");
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fmt_value(static_cast<double>(h->bucket(i)));
+    }
+    out += "], \"count\": " + fmt_value(static_cast<double>(h->count())) +
+           ", \"sum_seconds\": " + fmt_value(h->sum()) + "}";
+  }
+  out += "], \"spans\": [";
+  first = true;
+  for (const auto& [name, site] : spans_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"site\": \"" + json_escape(name) +
+           "\", \"calls\": " + fmt_value(static_cast<double>(site->count())) +
+           ", \"total_seconds\": " + fmt_value(site->total_seconds()) +
+           ", \"max_seconds\": " + fmt_value(site->max_seconds()) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, c] : counters_) c->reset();
+  for (auto& [key, g] : gauges_) g->reset();
+  for (auto& [key, h] : histograms_) h->reset();
+  for (auto& [name, s] : spans_) s->reset();
+}
+
+std::string label(const std::string& key, const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  return key + "=\"" + escaped + "\"";
+}
+
+}  // namespace leaf::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <map>
 #include <utility>
@@ -10,6 +11,8 @@
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "io/serializer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 
 namespace leaf::serve {
@@ -22,6 +25,12 @@ void write_ints(io::Serializer& out, const std::vector<int>& v) {
   out.put_ints(v);
 }
 
+std::string fmt6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
 }  // namespace
 
 /// One shard = one (KPI, model family, scheme) pipeline.  `step()` is the
@@ -29,6 +38,7 @@ void write_ints(io::Serializer& out, const std::vector<int>& v) {
 /// guards), so a shard's EvalResult matches run_scheme exactly.
 struct FleetRuntime::Shard {
   ShardSpec spec;
+  int index = -1;  ///< position in the fleet; stamped on emitted events
   const data::Featurizer* featurizer = nullptr;
   double dispersion = 0.0;
   core::EvalConfig cfg;
@@ -37,6 +47,7 @@ struct FleetRuntime::Shard {
 
   // --- mutable per-step state (everything below is snapshotted) ---------
   models::FitCaches fit_caches;
+  obs::EventLog events;  ///< single-writer: only this shard's step() emits
   std::unique_ptr<models::Regressor> model;
   drift::Kswin detector;
   Rng rng;
@@ -78,12 +89,16 @@ struct FleetRuntime::Shard {
           "serve: shard training window produced no supervised pairs");
     model = prototype->clone_untrained();
     model->attach_caches(&fit_caches);
-    model->fit(train.X, train.y);
+    {
+      LEAF_SPAN("serve.init_fit");
+      model->fit(train.X, train.y);
+    }
 
     scheme->reset();
     detector.reset();
     rng = Rng(cfg.seed);
     abs_ne_samples.clear();
+    events.clear();
     next_day = anchor + cfg.horizon;
     done = next_day >= num_days;
     steps = 0;
@@ -92,14 +107,38 @@ struct FleetRuntime::Shard {
   /// One evaluation step (the run_scheme loop body for day = next_day).
   void step() {
     if (done) return;
+    LEAF_SPAN("serve.step");
+    static obs::Counter& steps_ctr =
+        obs::MetricsRegistry::global().counter("leaf_eval_steps_total");
+    static obs::Counter& scored_ctr =
+        obs::MetricsRegistry::global().counter("leaf_eval_days_scored_total");
+    static obs::Counter& skipped_ctr =
+        obs::MetricsRegistry::global().counter("leaf_eval_days_skipped_total");
+    static obs::Counter& nonfinite_ctr =
+        obs::MetricsRegistry::global().counter("leaf_eval_nonfinite_total");
+    static obs::Counter& drift_ctr =
+        obs::MetricsRegistry::global().counter("leaf_drift_events_total");
+    static obs::Counter& retrain_ctr =
+        obs::MetricsRegistry::global().counter("leaf_retrains_total");
+    static obs::Histogram& retrain_latency =
+        obs::MetricsRegistry::global().histogram("leaf_retrain_latency_seconds",
+                                                 obs::latency_buckets());
     ++steps;
+    steps_ctr.inc();
     const int day = next_day;
     next_day += cfg.stride;
     if (next_day >= num_days) done = true;
 
+    const auto emit = [&](obs::EventKind kind, std::string detail,
+                          double seconds = 0.0) {
+      events.emit({kind, day, index, data::to_string(spec.kpi), result.model,
+                   result.scheme, std::move(detail), seconds});
+    };
+
     const data::SupervisedSet test = featurizer->at_target_day(day);
     if (static_cast<int>(test.size()) < cfg.min_samples_per_day) {
       ++result.degraded.days_skipped;
+      skipped_ctr.inc();
       return;
     }
 
@@ -108,8 +147,11 @@ struct FleetRuntime::Shard {
     const double err = metrics::nrmse(pred, test.y, norm_range);
     if (cfg.guard_nonfinite && !std::isfinite(err)) {
       ++result.degraded.nonfinite_errors;
+      nonfinite_ctr.inc();
+      emit(obs::EventKind::kNonFinite, "rows=" + std::to_string(test.size()));
       return;
     }
+    scored_ctr.inc();
 
     double ne_acc = 0.0;
     std::size_t ne_count = 0;
@@ -128,7 +170,13 @@ struct FleetRuntime::Shard {
         ne_count > 0 ? ne_acc / static_cast<double>(ne_count) : 0.0);
 
     const bool drift = detector.update(err);
-    if (drift) result.drift_days.push_back(day);
+    if (drift) {
+      result.drift_days.push_back(day);
+      drift_ctr.inc();
+      emit(obs::EventKind::kDrift,
+           "detector=KSWIN,p=" + fmt6(detector.last_p_value()) +
+               ",nrmse=" + fmt6(err));
+    }
 
     core::SchemeContext ctx{.featurizer = *featurizer,
                             .model = *model,
@@ -139,18 +187,35 @@ struct FleetRuntime::Shard {
                             .train_window = cfg.train_window,
                             .rng = &rng,
                             .prototype = prototype.get(),
-                            .cache = nullptr};
+                            .cache = nullptr,
+                            .events = &events,
+                            .shard = index};
+    const double retrain_t0 = obs::enabled() ? obs::monotonic_seconds() : 0.0;
     std::optional<data::SupervisedSet> new_train = scheme->on_step(ctx);
+    bool retrained = false;
     if (std::unique_ptr<models::Regressor> replacement =
             scheme->take_replacement_model()) {
       model = std::move(replacement);
       result.retrain_days.push_back(day);
+      retrained = true;
     } else if (new_train.has_value() && !new_train->empty()) {
       train = std::move(*new_train);
       model = prototype->clone_untrained();
       model->attach_caches(&fit_caches);
-      model->fit(train.X, train.y);
+      {
+        LEAF_SPAN("serve.retrain_fit");
+        model->fit(train.X, train.y);
+      }
       result.retrain_days.push_back(day);
+      retrained = true;
+    }
+    if (retrained) {
+      const double secs =
+          obs::enabled() ? obs::monotonic_seconds() - retrain_t0 : 0.0;
+      retrain_ctr.inc();
+      retrain_latency.observe(secs);
+      emit(obs::EventKind::kRetrain,
+           "train_rows=" + std::to_string(train.size()), secs);
     }
   }
 
@@ -186,6 +251,9 @@ struct FleetRuntime::Shard {
     out.put_i64(result.degraded.values_imputed);
     out.put_i64(result.degraded.quarantined_records);
     out.put_doubles(abs_ne_samples);
+    // Format v2: the shard's event log rides along, so a resumed run's
+    // merged event stream is identical to an uninterrupted one.
+    events.save(out);
   }
 
   /// Fully parsed shard state, applied only after the whole snapshot
@@ -204,6 +272,7 @@ struct FleetRuntime::Shard {
     std::uint64_t steps = 0;
     core::EvalResult result;
     std::vector<double> abs_ne_samples;
+    obs::EventLog events;
   };
 
   Restored parse(io::Deserializer& in) const {
@@ -242,6 +311,7 @@ struct FleetRuntime::Shard {
     r.result.degraded.values_imputed = in.get_i64();
     r.result.degraded.quarantined_records = in.get_i64();
     r.abs_ne_samples = in.get_doubles();
+    r.events.load(in);
     if (!in.exhausted())
       throw io::SnapshotError("trailing bytes after shard state");
     if (r.result.nrmse.size() != r.result.days.size() ||
@@ -265,6 +335,7 @@ struct FleetRuntime::Shard {
     steps = r.steps;
     result = std::move(r.result);
     abs_ne_samples = std::move(r.abs_ne_samples);
+    events = std::move(r.events);
   }
 };
 
@@ -299,6 +370,7 @@ FleetRuntime::FleetRuntime(const data::CellularDataset& ds, const Scale& scale,
     core::EvalConfig cfg = core::make_eval_config(scale_, seed);
     shards_.push_back(
         std::make_unique<Shard>(spec, *featurizer, dispersion, cfg, scale_));
+    shards_.back()->index = static_cast<int>(i);
   }
 }
 
@@ -361,7 +433,21 @@ std::uint64_t FleetRuntime::snapshot(const std::string& dir) const {
   for (std::size_t i = 0; i < shards_.size(); ++i)
     shards_[i]->save(writer.section("shard" + std::to_string(i)));
 
-  return writer.write_file((std::filesystem::path(dir) / kFleetFile).string());
+  const obs::Stopwatch sw;
+  const std::uint64_t bytes =
+      writer.write_file((std::filesystem::path(dir) / kFleetFile).string());
+  const double secs = sw.seconds();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("leaf_snapshots_total").inc();
+  reg.histogram("leaf_snapshot_write_seconds", obs::latency_buckets())
+      .observe(secs);
+  reg.gauge("leaf_snapshot_bytes").set(static_cast<double>(bytes));
+  // Operational message: deliberately NOT an event-log entry, or a resumed
+  // run's event stream could never match an uninterrupted one.
+  LEAF_LOG_INFO("serve: snapshot at step %llu -> %s (%llu bytes)",
+                static_cast<unsigned long long>(steps_run_), dir.c_str(),
+                static_cast<unsigned long long>(bytes));
+  return bytes;
 }
 
 void FleetRuntime::restore(const std::string& dir) {
@@ -400,6 +486,10 @@ void FleetRuntime::restore(const std::string& dir) {
     shards_[i]->apply(std::move(restored[i]));
   steps_run_ = steps_run;
   started_ = true;
+  obs::MetricsRegistry::global().counter("leaf_restores_total").inc();
+  LEAF_LOG_INFO("serve: restored %zu shards at step %llu from %s",
+                shards_.size(), static_cast<unsigned long long>(steps_run_),
+                dir.c_str());
 }
 
 std::vector<core::EvalResult> FleetRuntime::results() const {
@@ -431,6 +521,70 @@ ServeStats FleetRuntime::stats() const {
     stats.shards.push_back(std::move(s));
   }
   return stats;
+}
+
+std::vector<obs::Event> FleetRuntime::merged_events() const {
+  std::vector<const obs::EventLog*> logs;
+  logs.reserve(shards_.size());
+  for (const auto& shard : shards_) logs.push_back(&shard->events);
+  return obs::EventLog::merge(logs);
+}
+
+std::string FleetRuntime::events_jsonl(bool with_timing) const {
+  return obs::EventLog::to_jsonl(merged_events(), with_timing);
+}
+
+std::string FleetRuntime::scrape(bool include_process) const {
+  // Fleet-state-derived series: recomputed from shard state on every call,
+  // so they are deterministic across LEAF_THREADS *and* across a
+  // SIGKILL + restore cycle (unlike process-global registry counters,
+  // which are process-lifetime).
+  std::string out;
+  char buf[160];
+  const auto line = [&](const char* name, const std::string& labels,
+                        long long v) {
+    std::snprintf(buf, sizeof buf, "%s{%s} %lld\n", name, labels.c_str(), v);
+    out += buf;
+  };
+  const ServeStats st = stats();
+  const char* kShardMetrics[] = {
+      "leaf_fleet_shard_steps",       "leaf_fleet_shard_days_evaluated",
+      "leaf_fleet_shard_retrains",    "leaf_fleet_shard_drift_events",
+      "leaf_fleet_shard_days_skipped", "leaf_fleet_shard_done"};
+  for (const char* m : kShardMetrics) {
+    out += "# TYPE ";
+    out += m;
+    out += " gauge\n";
+    for (std::size_t i = 0; i < st.shards.size(); ++i) {
+      const ShardStats& s = st.shards[i];
+      const std::string labels =
+          obs::label("shard", std::to_string(i)) + "," +
+          obs::label("kpi", s.kpi) + "," + obs::label("model", s.model) +
+          "," + obs::label("scheme", s.scheme);
+      long long v = 0;
+      if (m == kShardMetrics[0]) v = static_cast<long long>(s.steps);
+      else if (m == kShardMetrics[1]) v = s.days_evaluated;
+      else if (m == kShardMetrics[2]) v = s.retrains;
+      else if (m == kShardMetrics[3]) v = s.drift_events;
+      else if (m == kShardMetrics[4]) v = s.days_skipped;
+      else v = s.done ? 1 : 0;
+      line(m, labels, v);
+    }
+  }
+  const auto total = [&out](const char* name, long long v) {
+    out += "# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += " " + std::to_string(v) + "\n";
+  };
+  total("leaf_fleet_steps", static_cast<long long>(st.total_steps));
+  total("leaf_fleet_shards", static_cast<long long>(st.shards.size()));
+  total("leaf_fleet_shards_done", static_cast<long long>(st.shards_done));
+  total("leaf_fleet_retrains", st.total_retrains);
+  total("leaf_fleet_drift_events", st.total_drift_events);
+  if (include_process) out += obs::MetricsRegistry::global().scrape();
+  return out;
 }
 
 }  // namespace leaf::serve

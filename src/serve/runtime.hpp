@@ -37,6 +37,7 @@
 #include "drift/kswin.hpp"
 #include "io/snapshot.hpp"
 #include "models/factory.hpp"
+#include "obs/events.hpp"
 
 namespace leaf::serve {
 
@@ -117,6 +118,21 @@ class FleetRuntime {
   std::vector<core::EvalResult> results() const;
 
   ServeStats stats() const;
+
+  /// Fleet-wide drift-event stream: per-shard logs merged with a stable
+  /// (day, shard) sort — a pure function of the computation, bit-identical
+  /// at any LEAF_THREADS and across a snapshot/restore cycle (shard logs
+  /// are part of the snapshot).
+  std::vector<obs::Event> merged_events() const;
+  /// The merged stream as JSONL; with_timing=false omits the
+  /// `elapsed_seconds` key (the form determinism checks compare).
+  std::string events_jsonl(bool with_timing = true) const;
+
+  /// Prometheus text scrape: fleet-state-derived `leaf_fleet_*` series
+  /// (deterministic and resume-safe, since they are recomputed from shard
+  /// state) followed — when `include_process` — by the process-global
+  /// registry scrape (spans, cache counters; process-lifetime values).
+  std::string scrape(bool include_process = true) const;
 
  private:
   struct Shard;

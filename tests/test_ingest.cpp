@@ -12,6 +12,7 @@
 #include "ingest/pipeline.hpp"
 #include "ingest/validator.hpp"
 #include "models/factory.hpp"
+#include "obs/events.hpp"
 
 namespace leaf::ingest {
 namespace {
@@ -144,6 +145,87 @@ TEST(HealthTracker, OkStraightToOutageOnTotalLoss) {
   HealthTracker t(fsm_cfg());
   EXPECT_EQ(t.step(0.0), HealthState::kOk);
   EXPECT_EQ(t.step(0.0), HealthState::kOutage);  // skips DEGRADED
+}
+
+// --- hysteresis edge cases --------------------------------------------------
+
+TEST(HealthTracker, FlappingOneBelowDegradeDaysNeverTrips) {
+  // degrade_days - 1 consecutive bad days, then one good day, forever:
+  // the bad streak resets each cycle and the tracker must stay OK.
+  HealthTracker t(fsm_cfg());  // degrade_days = 2
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    EXPECT_EQ(t.step(0.6), HealthState::kOk);
+    EXPECT_EQ(t.step(1.0), HealthState::kOk);
+  }
+}
+
+TEST(HealthTracker, ExactlyDegradeDaysTrips) {
+  HealthTracker t(fsm_cfg());
+  EXPECT_EQ(t.step(0.6), HealthState::kOk);        // day 1 of the streak
+  EXPECT_EQ(t.step(0.6), HealthState::kDegraded);  // day 2 == degrade_days
+}
+
+TEST(HealthTracker, ModerateDayResetsOutageEscalation) {
+  // DEGRADED -> OUTAGE needs degrade_days *consecutive* very-bad days; a
+  // moderately-bad day in between resets the very-bad streak (but keeps
+  // the tracker DEGRADED, since it is still below degraded_below).
+  HealthTracker t(fsm_cfg());
+  t.step(0.6);
+  t.step(0.6);
+  ASSERT_EQ(t.state(), HealthState::kDegraded);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    EXPECT_EQ(t.step(0.1), HealthState::kDegraded);  // very bad, streak = 1
+    EXPECT_EQ(t.step(0.6), HealthState::kDegraded);  // moderate: streak reset
+  }
+}
+
+TEST(HealthTracker, RecoveryAtExactlyRecoverDays) {
+  HealthTracker t(fsm_cfg());  // recover_days = 3
+  t.step(0.6);
+  t.step(0.6);
+  ASSERT_EQ(t.state(), HealthState::kDegraded);
+  EXPECT_EQ(t.step(0.9), HealthState::kDegraded);  // good day 1
+  EXPECT_EQ(t.step(0.9), HealthState::kDegraded);  // good day 2
+  EXPECT_EQ(t.step(0.9), HealthState::kOk);        // good day 3 == recover_days
+}
+
+TEST(HealthTracker, RelapseDuringRecoveryRestartsGoodStreak) {
+  HealthTracker t(fsm_cfg());
+  t.step(0.0);
+  t.step(0.0);
+  ASSERT_EQ(t.state(), HealthState::kOutage);
+  // Two good days, then a relapse: the good streak must restart from zero
+  // after the tracker re-enters RECOVERING.
+  EXPECT_EQ(t.step(0.9), HealthState::kRecovering);
+  EXPECT_EQ(t.step(0.9), HealthState::kRecovering);
+  EXPECT_EQ(t.step(0.1), HealthState::kOutage);  // relapse on one very-bad day
+  EXPECT_EQ(t.step(0.9), HealthState::kRecovering);
+  EXPECT_EQ(t.step(0.9), HealthState::kRecovering);
+  EXPECT_EQ(t.step(0.9), HealthState::kOk);  // full recover_days again
+}
+
+TEST(HealthTracker, ModerateDaysHoldRecoveringWithoutRecovery) {
+  // A day above outage_below but below degraded_below leaves OUTAGE for
+  // RECOVERING, yet never accumulates the good streak needed to reach OK.
+  HealthTracker t(fsm_cfg());
+  t.step(0.0);
+  t.step(0.0);
+  ASSERT_EQ(t.state(), HealthState::kOutage);
+  for (int day = 0; day < 10; ++day)
+    EXPECT_EQ(t.step(0.5), HealthState::kRecovering);
+  // One very-bad day drops it straight back to OUTAGE.
+  EXPECT_EQ(t.step(0.1), HealthState::kOutage);
+}
+
+TEST(HealthTracker, ResetReturnsToPristineOk) {
+  HealthTracker t(fsm_cfg());
+  t.step(0.0);
+  t.step(0.0);
+  ASSERT_EQ(t.state(), HealthState::kOutage);
+  t.reset();
+  EXPECT_EQ(t.state(), HealthState::kOk);
+  // Streak counters are cleared too: one bad day must not trip.
+  EXPECT_EQ(t.step(0.0), HealthState::kOk);
 }
 
 // --- imputation policies ---------------------------------------------------
@@ -285,6 +367,51 @@ TEST(Pipeline, DetectsDeclaredOutageWindow) {
   EXPECT_FALSE(any_in_state(health, 810, ds.num_days() - 1,
                             HealthState::kOutage));
   EXPECT_EQ(res.outage_days(1), 0);  // other columns unaffected
+}
+
+TEST(Pipeline, EmitsHealthTransitionAndQuarantineEvents) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  const auto& ds = tiny_ds();
+  FaultSpec spec;
+  spec.outage_column = 0;
+  spec.outage_start = 600;
+  spec.outage_end = 800;
+  spec.spike_rate = 0.01;
+  spec.seed = 7;
+
+  obs::EventLog log;
+  IngestConfig cfg;
+  cfg.events = &log;
+  const IngestResult res = ingest_stream(ds, inject_faults(ds, spec), cfg);
+  ASSERT_FALSE(log.empty());
+
+  int transitions = 0, quarantines = 0, into_outage = 0;
+  for (const obs::Event& e : log.events()) {
+    if (e.kind == obs::EventKind::kHealthTransition) {
+      ++transitions;
+      EXPECT_GE(e.day, 0);
+      EXPECT_NE(e.detail.find("from="), std::string::npos);
+      EXPECT_NE(e.detail.find("to="), std::string::npos);
+      if (e.detail.find("to=OUTAGE") != std::string::npos) ++into_outage;
+    } else if (e.kind == obs::EventKind::kQuarantine) {
+      ++quarantines;
+      EXPECT_NE(e.detail.find("records="), std::string::npos);
+      EXPECT_NE(e.detail.find("values="), std::string::npos);
+    }
+  }
+  // The declared outage must surface as at least one transition into
+  // OUTAGE; the spikes as at least one per-day quarantine aggregate.
+  EXPECT_GT(transitions, 0);
+  EXPECT_GT(into_outage, 0);
+  EXPECT_GT(quarantines, 0);
+
+  // The event stream is a pure function of the input: re-ingesting the
+  // same faulted stream reproduces it byte-for-byte.
+  obs::EventLog log2;
+  IngestConfig cfg2;
+  cfg2.events = &log2;
+  ingest_stream(ds, inject_faults(ds, spec), cfg2);
+  EXPECT_EQ(log2.to_jsonl(false), log.to_jsonl(false));
 }
 
 // --- end-to-end: run_scheme over a faulted stream --------------------------

@@ -1,0 +1,281 @@
+// Unit tests for leaf::obs — striped counters, histograms, span sites,
+// scrape formats, the event log, and the determinism contract (logical
+// telemetry identical at any LEAF_THREADS).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/generator.hpp"
+#include "io/serializer.hpp"
+#include "models/factory.hpp"
+#include "obs/events.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "par/pool.hpp"
+
+namespace leaf::obs {
+namespace {
+
+// --- counters ---------------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  Counter c;
+  const int n_threads = 8;
+  const std::uint64_t per_thread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  for (int t = 0; t < n_threads; ++t)
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < per_thread; ++i) c.inc();
+    });
+  for (auto& w : workers) w.join();
+  // Integer addition commutes: the final value is exact regardless of how
+  // threads were mapped to stripes.
+  EXPECT_EQ(c.value(), n_threads * per_thread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, IncByN) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  Counter c;
+  c.inc(5);
+  c.inc(7);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+// --- histograms -------------------------------------------------------------
+
+TEST(ObsHistogram, BucketsAreInclusiveUpperBoundsPlusOverflow) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  Histogram h({0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket 0
+  h.observe(0.1);    // bucket 0 (inclusive upper bound)
+  h.observe(0.5);    // bucket 1
+  h.observe(10.0);   // bucket 2
+  h.observe(100.0);  // +Inf overflow bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 110.65, 1e-9);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+// --- span sites -------------------------------------------------------------
+
+std::uint64_t spanned_work(int reps) {
+  std::uint64_t acc = 0;
+  for (int i = 0; i < reps; ++i) {
+    LEAF_SPAN("test_obs.spanned_work");
+    acc += static_cast<std::uint64_t>(i);
+  }
+  return acc;
+}
+
+TEST(ObsSpan, CountsEveryTraversal) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  SpanSite& site = MetricsRegistry::global().span_site("test_obs.spanned_work");
+  const std::uint64_t before = site.count();
+  spanned_work(17);
+  EXPECT_EQ(site.count(), before + 17);
+}
+
+TEST(ObsSpan, RuntimeDisabledStillCountsButDoesNotTime) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  SpanSite& site = MetricsRegistry::global().span_site("test_obs.disabled");
+  site.reset();
+  set_enabled(false);
+  {
+    LEAF_SPAN("test_obs.disabled");
+  }
+  set_enabled(true);
+  // The call count stays deterministic; no clock was read.
+  EXPECT_EQ(site.count(), 1u);
+  EXPECT_EQ(site.total_seconds(), 0.0);
+}
+
+// --- scrape formats ---------------------------------------------------------
+
+TEST(ObsRegistry, HandlesAreIdempotentAndStable) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test_obs_idempotent_total");
+  Counter& b = reg.counter("test_obs_idempotent_total");
+  EXPECT_EQ(&a, &b);
+  Counter& la = reg.counter("test_obs_labeled_total", label("k", "v"));
+  Counter& lb = reg.counter("test_obs_labeled_total", label("k", "w"));
+  EXPECT_NE(&la, &lb);  // distinct label sets are distinct series
+}
+
+TEST(ObsRegistry, PrometheusScrapeContainsRegisteredSeries) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("test_obs_scrape_total", label("family", "GBDT")).inc(3);
+  reg.gauge("test_obs_scrape_gauge").set(2.5);
+  const std::string text = reg.scrape();
+  EXPECT_NE(text.find("# TYPE test_obs_scrape_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_scrape_total{family=\"GBDT\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_obs_scrape_gauge gauge"),
+            std::string::npos);
+  // Scrape output ends with a newline (Prometheus text format).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ObsRegistry, JsonScrapeMentionsMetricsAndSpans) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("test_obs_json_total").inc();
+  const std::string json = reg.scrape_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_obs_json_total\""), std::string::npos);
+}
+
+// --- event log --------------------------------------------------------------
+
+Event sample_event() {
+  return {EventKind::kDrift, 420,  3,
+          "D_vol",           "GBDT", "LEAF",
+          "detector=KSWIN,p=0.001", 0.25};
+}
+
+TEST(ObsEvents, JsonlShapeAndTimingMask) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  EventLog log;
+  log.emit(sample_event());
+  ASSERT_EQ(log.size(), 1u);
+  const std::string with = log.to_jsonl(true);
+  const std::string without = log.to_jsonl(false);
+  EXPECT_NE(with.find("\"event\": \"drift\""), std::string::npos);
+  EXPECT_NE(with.find("\"day\": 420"), std::string::npos);
+  EXPECT_NE(with.find("\"shard\": 3"), std::string::npos);
+  EXPECT_NE(with.find("\"elapsed_seconds\""), std::string::npos);
+  // The masked form drops the only wall-clock key.
+  EXPECT_EQ(without.find("\"elapsed_seconds\""), std::string::npos);
+  EXPECT_EQ(with.back(), '\n');
+}
+
+TEST(ObsEvents, SaveLoadRoundTripsExactly) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  EventLog log;
+  log.emit(sample_event());
+  Event e2 = sample_event();
+  e2.kind = EventKind::kRetrainRejected;
+  e2.day = 421;
+  e2.detail = "contrast=0.01,groups=2";
+  log.emit(e2);
+
+  io::Serializer out;
+  log.save(out);
+  io::Deserializer in(out.bytes());
+  EventLog restored;
+  restored.load(in);
+  EXPECT_EQ(restored.events(), log.events());
+  EXPECT_EQ(restored.to_jsonl(true), log.to_jsonl(true));
+}
+
+TEST(ObsEvents, MergeIsStableByDayThenShard) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  EventLog shard0, shard1;
+  Event a = sample_event();
+  a.shard = 0;
+  a.day = 100;
+  Event b = sample_event();
+  b.shard = 0;
+  b.day = 100;
+  b.kind = EventKind::kRetrain;  // same day: insertion order must survive
+  Event c = sample_event();
+  c.shard = 1;
+  c.day = 50;
+  shard0.emit(a);
+  shard0.emit(b);
+  shard1.emit(c);
+  const std::vector<Event> merged = EventLog::merge({&shard0, &shard1});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].day, 50);
+  EXPECT_EQ(merged[1].kind, EventKind::kDrift);
+  EXPECT_EQ(merged[2].kind, EventKind::kRetrain);
+}
+
+TEST(ObsEvents, EmitIsNoOpWhenRuntimeDisabled) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  EventLog log;
+  set_enabled(false);
+  log.emit(sample_event());
+  set_enabled(true);
+  EXPECT_TRUE(log.empty());
+}
+
+// --- logger -----------------------------------------------------------------
+
+TEST(ObsLog, ParseLogLevel) {
+  LogLevel lv = LogLevel::kInfo;
+  EXPECT_TRUE(parse_log_level("error", lv));
+  EXPECT_EQ(lv, LogLevel::kError);
+  EXPECT_TRUE(parse_log_level("WARN", lv));
+  EXPECT_EQ(lv, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("Debug", lv));
+  EXPECT_EQ(lv, LogLevel::kDebug);
+  EXPECT_FALSE(parse_log_level("loud", lv));
+  EXPECT_EQ(lv, LogLevel::kDebug);  // untouched on failure
+  EXPECT_FALSE(parse_log_level(nullptr, lv));
+}
+
+TEST(ObsLog, ThresholdGatesLevels) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  set_log_level(prev);
+}
+
+// --- determinism: run_scheme event stream vs LEAF_THREADS -------------------
+
+TEST(ObsDeterminism, RunSchemeEventsIdenticalAcrossThreadCounts) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  Scale scale = Scale::for_level(Scale::Level::kSmall);
+  scale.fixed_enbs = 6;
+  scale.num_kpis = 16;
+  scale.gbdt_trees = 15;
+  scale.eval_stride_days = 4;
+  const data::CellularDataset ds = data::generate_fixed_dataset(scale, 42);
+  const data::Featurizer featurizer(ds, data::TargetKpi::kDVol);
+
+  const auto run_with_threads = [&](int threads) {
+    par::set_threads(threads);
+    EventLog log;
+    core::EvalConfig cfg = core::make_eval_config(scale);
+    cfg.events = &log;
+    cfg.obs_shard = 0;
+    const auto model =
+        models::make_model(models::ModelFamily::kGbdt, scale, 1);
+    core::TriggeredScheme scheme;
+    core::run_scheme(featurizer, *model, scheme, cfg);
+    return log.to_jsonl(/*with_timing=*/false);
+  };
+
+  const std::string jsonl_t1 = run_with_threads(1);
+  const std::string jsonl_t4 = run_with_threads(4);
+  par::set_threads(0);
+  // The masked event stream is a pure function of the logical execution.
+  EXPECT_FALSE(jsonl_t1.empty());
+  EXPECT_EQ(jsonl_t1, jsonl_t4);
+}
+
+}  // namespace
+}  // namespace leaf::obs

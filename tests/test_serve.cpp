@@ -11,6 +11,7 @@
 #include "core/experiment.hpp"
 #include "data/generator.hpp"
 #include "io/serializer.hpp"
+#include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 #include "serve/runtime.hpp"
 
@@ -203,6 +204,102 @@ TEST_F(ServeFixture, StatsTrackProgress) {
     evaluated += s.days_evaluated;
   }
   EXPECT_GT(evaluated, 0);
+}
+
+// --- observability ----------------------------------------------------------
+
+// The masked fleet event stream (to_jsonl(false)) and the fleet-state
+// scrape section are pure functions of the computation: identical at any
+// thread count.
+TEST_F(ServeFixture, EventStreamIdenticalAtAnyThreadCount) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  ThreadGuard guard;
+
+  par::set_threads(1);
+  FleetRuntime a(ds, scale, small_fleet());
+  a.run_to_end();
+
+  par::set_threads(4);
+  FleetRuntime b(ds, scale, small_fleet());
+  b.run_to_end();
+
+  const std::string ja = a.events_jsonl(/*with_timing=*/false);
+  EXPECT_FALSE(ja.empty());
+  EXPECT_EQ(ja, b.events_jsonl(/*with_timing=*/false));
+  // Fleet-state-derived scrape (without the process-global registry,
+  // which carries wall-clock series) is likewise schedule-independent.
+  EXPECT_EQ(a.scrape(/*include_process=*/false),
+            b.scrape(/*include_process=*/false));
+}
+
+// Shard event logs ride in the snapshot: a restored fleet replays to the
+// same event stream as one that never stopped, including events from
+// before the snapshot point.
+TEST_F(ServeFixture, EventStreamSurvivesSnapshotRestore) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  FleetRuntime uninterrupted(ds, scale, small_fleet());
+  uninterrupted.run_to_end();
+
+  FleetRuntime victim(ds, scale, small_fleet());
+  victim.run_steps(3);
+  ASSERT_FALSE(victim.done());
+  const std::string dir = temp_dir("events_resume");
+  victim.snapshot(dir);
+
+  FleetRuntime revived(ds, scale, small_fleet());
+  revived.restore(dir);
+  revived.run_to_end();
+
+  EXPECT_EQ(revived.events_jsonl(/*with_timing=*/false),
+            uninterrupted.events_jsonl(/*with_timing=*/false));
+  EXPECT_EQ(revived.scrape(/*include_process=*/false),
+            uninterrupted.scrape(/*include_process=*/false));
+}
+
+// Every merged event carries its shard's identity and the merge is
+// (day, shard)-ordered.
+TEST_F(ServeFixture, MergedEventsCarryShardContext) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  FleetRuntime fleet(ds, scale, small_fleet());
+  fleet.run_to_end();
+  const std::vector<obs::Event> events = fleet.merged_events();
+  ASSERT_FALSE(events.empty());
+  int prev_day = -1, prev_shard = -1;
+  for (const obs::Event& e : events) {
+    EXPECT_GE(e.shard, 0);
+    EXPECT_LT(e.shard, 3);
+    EXPECT_FALSE(e.kpi.empty());
+    EXPECT_FALSE(e.model.empty());
+    EXPECT_FALSE(e.scheme.empty());
+    EXPECT_TRUE(e.day > prev_day || (e.day == prev_day && e.shard >= prev_shard))
+        << "merge order violated at day " << e.day << " shard " << e.shard;
+    prev_day = e.day;
+    prev_shard = e.shard;
+  }
+}
+
+// The fleet scrape is valid Prometheus text: every non-comment line is
+// `series value`, and the fleet section reports one series set per shard.
+TEST_F(ServeFixture, ScrapeShapeIsWellFormed) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  FleetRuntime fleet(ds, scale, small_fleet());
+  fleet.run_steps(2);
+  const std::string text = fleet.scrape();
+  std::size_t shard_series = 0, pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "scrape must end with a newline";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << "bad line: " << line;
+    EXPECT_GT(sp, 0u);
+    // The value parses as a double.
+    EXPECT_NO_THROW((void)std::stod(line.substr(sp + 1))) << line;
+    if (line.rfind("leaf_fleet_shard_steps{", 0) == 0) ++shard_series;
+  }
+  EXPECT_EQ(shard_series, 3u);
 }
 
 // Explicit per-shard seeds are honored verbatim; seed 0 derives from the
