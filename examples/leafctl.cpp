@@ -19,6 +19,15 @@
 //                 [--model MODEL] [--scheme SCHEME] [--shards N]
 //                 [--seed N] [--threads N]
 //                 [--snapshot-every K] [--snapshot-dir DIR] [--resume]
+//                 [--snapshot-keep K] [--max-shard-retries N]
+//                 [--breaker-max-retrains N] [--breaker-window DAYS]
+//                 [--breaker-cooldown DAYS] [--chaos SPEC]
+//
+// `--resume` with an empty or missing snapshot directory starts fresh
+// with a warning; genuinely malformed on-disk state exits with code 2.
+// `--chaos` (or the LEAF_CHAOS environment variable) enables the seeded
+// fault-injection schedule of leaf::chaos; see chaos/chaos.hpp for the
+// spec grammar.
 //
 // Unknown flags are rejected with usage() and exit code 2 in both modes.
 // The LEAF_SCALE environment variable controls dataset size as usual.
@@ -29,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "common/calendar.hpp"
 #include "common/csv.hpp"
 #include "core/experiment.hpp"
@@ -54,7 +64,10 @@ void usage(const char* argv0) {
                "       %s serve [--dataset fixed|evolving] [--kpis A,B|all] "
                "[--model MODEL] [--scheme SCHEME] [--shards N] [--seed N] "
                "[--threads N] [--snapshot-every K] [--snapshot-dir DIR] "
-               "[--resume] [--metrics-out FILE] [--events-out FILE] "
+               "[--resume] [--snapshot-keep K] [--max-shard-retries N] "
+               "[--breaker-max-retrains N] [--breaker-window DAYS] "
+               "[--breaker-cooldown DAYS] [--chaos SPEC] "
+               "[--metrics-out FILE] [--events-out FILE] "
                "[--summary-every N]\n"
                "flags: --metrics-out writes a Prometheus text scrape "
                "(.json suffix: JSON); --events-out writes the drift-event "
@@ -118,6 +131,8 @@ int run_serve(int argc, char** argv) {
   int snapshot_every = 0;
   int summary_every = 20;
   bool resume = false;
+  serve::SupervisorConfig supervisor;
+  std::string chaos_spec;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -148,6 +163,18 @@ int run_serve(int argc, char** argv) {
       snapshot_dir = next();
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--snapshot-keep") {
+      supervisor.snapshot_keep = std::atoi(next());
+    } else if (arg == "--max-shard-retries") {
+      supervisor.recovery.max_retries = std::atoi(next());
+    } else if (arg == "--breaker-max-retrains") {
+      supervisor.breaker.max_retrains = std::atoi(next());
+    } else if (arg == "--breaker-window") {
+      supervisor.breaker.window_days = std::atoi(next());
+    } else if (arg == "--breaker-cooldown") {
+      supervisor.breaker.cooldown_days = std::atoi(next());
+    } else if (arg == "--chaos") {
+      chaos_spec = next();
     } else if (arg == "--metrics-out") {
       metrics_out = next();
     } else if (arg == "--events-out") {
@@ -201,6 +228,22 @@ int run_serve(int argc, char** argv) {
     return 2;
   }
 
+  // --chaos takes precedence over the LEAF_CHAOS environment variable.
+  try {
+    supervisor.chaos = chaos_spec.empty() ? chaos::ChaosConfig::from_env()
+                                          : chaos::ChaosConfig::parse(chaos_spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (supervisor.snapshot_keep < 1 || supervisor.recovery.max_retries < 0 ||
+      supervisor.breaker.max_retrains < 0) {
+    std::fprintf(stderr,
+                 "--snapshot-keep must be >= 1, --max-shard-retries and "
+                 "--breaker-max-retrains >= 0\n");
+    return 2;
+  }
+
   const Scale scale = Scale::from_env();
   const data::CellularDataset ds = dataset == "fixed"
                                        ? data::generate_fixed_dataset(scale)
@@ -216,23 +259,37 @@ int run_serve(int argc, char** argv) {
   for (std::size_t i = 0; i < n_shards; ++i)
     specs.push_back({targets[i % targets.size()], family, scheme_spec, 0});
 
-  serve::FleetRuntime fleet(ds, scale, std::move(specs), seed);
+  serve::FleetRuntime fleet(ds, scale, std::move(specs), seed, supervisor);
   std::printf("leafctl serve: %zu shard(s), %s / %s / %s (scale=%s, "
               "seed=%llu)\n",
               fleet.num_shards(), dataset.c_str(), model_name.c_str(),
               scheme_spec.c_str(), scale.name().c_str(),
               static_cast<unsigned long long>(seed));
+  if (supervisor.chaos.any())
+    LEAF_LOG_WARN("chaos enabled: %s", supervisor.chaos.to_string().c_str());
 
   if (resume) {
-    try {
-      fleet.restore(snapshot_dir);
-    } catch (const io::SnapshotError& e) {
-      LEAF_LOG_ERROR("resume from %s failed: %s", snapshot_dir.c_str(),
-                     e.what());
-      return 1;
+    if (!serve::FleetRuntime::has_snapshot(snapshot_dir)) {
+      // An empty (or not yet created) snapshot directory is the normal
+      // first boot of a service configured to resume — start fresh.
+      LEAF_LOG_WARN("no snapshot in %s; starting fresh",
+                    snapshot_dir.c_str());
+    } else {
+      try {
+        fleet.restore(snapshot_dir);
+      } catch (const io::SnapshotError& e) {
+        // There IS on-disk state but it cannot be trusted (wrong fleet,
+        // unreadable everywhere): refuse to guess, distinct exit code.
+        LEAF_LOG_ERROR("resume from %s failed: %s", snapshot_dir.c_str(),
+                       e.what());
+        return 2;
+      }
+      LEAF_LOG_INFO("resumed from %s at step %llu", snapshot_dir.c_str(),
+                    static_cast<unsigned long long>(fleet.steps_run()));
+      if (fleet.stats().snapshot_fallbacks > 0)
+        LEAF_LOG_WARN("%d shard(s) restored from an older generation",
+                      fleet.stats().snapshot_fallbacks);
     }
-    LEAF_LOG_INFO("resumed from %s at step %llu", snapshot_dir.c_str(),
-                  static_cast<unsigned long long>(fleet.steps_run()));
   }
 
   while (fleet.step()) {
@@ -253,14 +310,20 @@ int run_serve(int argc, char** argv) {
   const std::vector<core::EvalResult> results = fleet.results();
   std::printf("\nfleet complete: %llu steps\n",
               static_cast<unsigned long long>(stats.total_steps));
-  std::printf("%-6s %-12s %-10s %8s %8s %8s %8s\n", "kpi", "model", "scheme",
-              "days", "nrmse", "drifts", "retrains");
+  std::printf("%-6s %-12s %-10s %8s %8s %8s %8s  %s\n", "kpi", "model",
+              "scheme", "days", "nrmse", "drifts", "retrains", "health");
   for (std::size_t i = 0; i < stats.shards.size(); ++i) {
     const serve::ShardStats& s = stats.shards[i];
-    std::printf("%-6s %-12s %-10s %8d %8.4f %8d %8d\n", s.kpi.c_str(),
+    std::printf("%-6s %-12s %-10s %8d %8.4f %8d %8d  %s\n", s.kpi.c_str(),
                 s.model.c_str(), s.scheme.c_str(), s.days_evaluated,
-                results[i].avg_nrmse(), s.drift_events, s.retrains);
+                results[i].avg_nrmse(), s.drift_events, s.retrains,
+                serve::to_string(s.health));
   }
+  if (stats.total_faults > 0 || stats.total_breaker_trips > 0)
+    std::printf("supervision: %d fault(s), %zu quarantined, %d breaker "
+                "trip(s), %d suppressed retrain(s)\n",
+                stats.total_faults, stats.shards_quarantined,
+                stats.total_breaker_trips, stats.total_suppressed_retrains);
   if (!snapshot_dir.empty())
     LEAF_LOG_INFO("final snapshot in %s", snapshot_dir.c_str());
   if (!metrics_out.empty()) {

@@ -4,8 +4,29 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 namespace leaf::io {
+
+namespace {
+
+// ScopedWriteFault state: byte budget for the next write_file call.
+// SIZE_MAX = disarmed.  Single-threaded by contract (see header).
+std::size_t g_write_fault_after = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+ScopedWriteFault::ScopedWriteFault(std::size_t after_bytes) {
+  g_write_fault_after = after_bytes;
+}
+
+ScopedWriteFault::~ScopedWriteFault() {
+  g_write_fault_after = std::numeric_limits<std::size_t>::max();
+}
+
+bool ScopedWriteFault::armed() {
+  return g_write_fault_after != std::numeric_limits<std::size_t>::max();
+}
 
 Serializer& SnapshotWriter::section(const std::string& name) {
   for (const auto& [existing, _] : sections_) {
@@ -35,28 +56,47 @@ std::vector<std::uint8_t> SnapshotWriter::encode() const {
 }
 
 std::uint64_t SnapshotWriter::write_file(const std::string& path) const {
-  const std::vector<std::uint8_t> bytes = encode();
+  return write_bytes(path, encode());
+}
+
+std::uint64_t SnapshotWriter::write_bytes(const std::string& path,
+                                          std::span<const std::uint8_t> bytes) {
   const std::string tmp = path + ".tmp";
+  // Remove the temporary on every failure path: a failed snapshot must
+  // not leave litter behind (and must leave any previous snapshot under
+  // `path` untouched).
+  const auto fail = [&tmp](const std::string& what) -> SnapshotError {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return SnapshotError(what);
+  };
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f)
-      throw SnapshotError("cannot open '" + tmp + "' for writing");
+    if (!f) throw fail("cannot open '" + tmp + "' for writing");
+    std::size_t budget = bytes.size();
+    if (g_write_fault_after < budget) {
+      budget = g_write_fault_after;
+      g_write_fault_after = std::numeric_limits<std::size_t>::max();
+      f.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(budget));
+      f.flush();
+      throw fail("write to '" + tmp + "' failed (injected fault after " +
+                 std::to_string(budget) + " bytes)");
+    }
     f.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
     f.flush();
-    if (!f) throw SnapshotError("write to '" + tmp + "' failed");
+    if (!f) throw fail("write to '" + tmp + "' failed");
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw SnapshotError("cannot rename snapshot into '" + path + "'");
-  }
+  if (ec) throw fail("cannot rename snapshot into '" + path + "'");
   return bytes.size();
 }
 
-SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes)
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes, ReadMode mode)
     : bytes_(std::move(bytes)) {
+  const bool lenient = mode == ReadMode::kLenient;
   Deserializer in(bytes_);
   if (in.remaining() < sizeof(kMagic))
     throw SnapshotError("file too short to hold a snapshot header");
@@ -72,38 +112,61 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes)
   const std::uint32_t count = in.get_u32();
   sections_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (lenient && in.remaining() < 4) break;  // truncated tail
     const std::uint32_t name_len = in.get_u32();
-    if (name_len > in.remaining())
+    if (name_len > in.remaining()) {
+      if (lenient) break;
       throw SnapshotError("truncated section name");
+    }
     Section s;
     s.name.assign(
         reinterpret_cast<const char*>(bytes_.data() +
                                       (bytes_.size() - in.remaining())),
         name_len);
     for (std::uint32_t k = 0; k < name_len; ++k) in.get_u8();
+    if (lenient && in.remaining() < 8 + 4) {
+      // Header truncated mid-section: record the section as corrupt so
+      // callers know it existed but is unusable.
+      s.valid = false;
+      corrupt_.push_back(s.name);
+      sections_.push_back(std::move(s));
+      break;
+    }
     const std::uint64_t payload_len = in.get_u64();
     const std::uint32_t crc = in.get_u32();
-    if (payload_len > in.remaining())
+    if (payload_len > in.remaining()) {
+      if (lenient) {
+        s.valid = false;
+        corrupt_.push_back(s.name);
+        sections_.push_back(std::move(s));
+        break;
+      }
       throw SnapshotError("truncated payload for section '" + s.name + "'");
+    }
     s.offset = bytes_.size() - in.remaining();
     s.length = static_cast<std::size_t>(payload_len);
     const std::span<const std::uint8_t> payload(bytes_.data() + s.offset,
                                                 s.length);
-    if (crc32(payload) != crc)
-      throw SnapshotError("checksum mismatch in section '" + s.name + "'");
+    if (crc32(payload) != crc) {
+      if (!lenient)
+        throw SnapshotError("checksum mismatch in section '" + s.name + "'");
+      s.valid = false;
+      corrupt_.push_back(s.name);
+    }
     for (std::uint64_t k = 0; k < payload_len; ++k) in.get_u8();
     sections_.push_back(std::move(s));
   }
 }
 
-SnapshotReader SnapshotReader::from_file(const std::string& path) {
+SnapshotReader SnapshotReader::from_file(const std::string& path,
+                                         ReadMode mode) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw SnapshotError("cannot open '" + path + "'");
   std::vector<std::uint8_t> bytes(
       (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
   if (!f.eof() && f.fail())
     throw SnapshotError("read of '" + path + "' failed");
-  return SnapshotReader(std::move(bytes));
+  return SnapshotReader(std::move(bytes), mode);
 }
 
 const SnapshotReader::Section* SnapshotReader::find(
@@ -115,20 +178,23 @@ const SnapshotReader::Section* SnapshotReader::find(
 }
 
 bool SnapshotReader::has(const std::string& name) const {
-  return find(name) != nullptr;
+  const Section* s = find(name);
+  return s != nullptr && s->valid;
 }
 
 Deserializer SnapshotReader::section(const std::string& name) const {
   const Section* s = find(name);
   if (s == nullptr)
     throw SnapshotError("missing section '" + name + "'");
+  if (!s->valid)
+    throw SnapshotError("checksum mismatch in section '" + name + "'");
   return Deserializer(
       std::span<const std::uint8_t>(bytes_.data() + s->offset, s->length));
 }
 
 std::uint64_t SnapshotReader::section_bytes(const std::string& name) const {
   const Section* s = find(name);
-  if (s == nullptr)
+  if (s == nullptr || !s->valid)
     throw SnapshotError("missing section '" + name + "'");
   return s->length;
 }

@@ -12,17 +12,25 @@
 //     payload  bytes
 //
 // Every section is independently checksummed, so a flipped bit anywhere
-// is pinned to the section it corrupted.  `SnapshotReader` validates the
-// magic, the version, the structural bounds, and every CRC up front: a
-// reader that constructs successfully hands out only verified payloads,
-// and any failure throws `SnapshotError` before the caller has mutated
-// anything (no partial restore).
+// is pinned to the section it corrupted.  In the default strict mode a
+// `SnapshotReader` validates the magic, the version, the structural
+// bounds, and every CRC up front: a reader that constructs successfully
+// hands out only verified payloads, and any failure throws
+// `SnapshotError` before the caller has mutated anything (no partial
+// restore).  Lenient mode (ReadMode::kLenient) keeps that guarantee per
+// section instead of per file: damaged sections are marked corrupt and
+// refuse to hand out payloads, while intact sections stay readable —
+// the mechanism behind leaf::serve's last-known-good per-shard rollback
+// across snapshot generations.  Bad magic or an unsupported version
+// still throws in either mode; nothing in such a file can be trusted.
 //
 // Files are written to a temporary sibling and atomically renamed into
 // place, so a crash mid-snapshot never leaves a half-written file under
-// the final name.
+// the final name, and the temporary is removed on every error path, so
+// a failed write never accumulates `.tmp` litter either.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -35,7 +43,25 @@ namespace leaf::io {
 inline constexpr char kMagic[8] = {'L', 'E', 'A', 'F', 'S', 'N', 'A', 'P'};
 // v2: serve shard sections carry the shard's obs::EventLog (crash-
 // equivalent drift-event telemetry across snapshot/restore).
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v3: serve shard sections carry supervision state (health FSM, fault
+// counters, retrain circuit breaker, supervision event log).
+inline constexpr std::uint32_t kFormatVersion = 3;
+
+/// Test/chaos seam: while alive, the next SnapshotWriter::write_file
+/// call fails after writing `after_bytes` bytes of the temporary file,
+/// exercising the error path (which must clean up the temporary).  One
+/// fault per scope arming; not thread-safe — arm only around
+/// single-threaded snapshot writes.
+class ScopedWriteFault {
+ public:
+  explicit ScopedWriteFault(std::size_t after_bytes);
+  ~ScopedWriteFault();
+  ScopedWriteFault(const ScopedWriteFault&) = delete;
+  ScopedWriteFault& operator=(const ScopedWriteFault&) = delete;
+
+  /// True while an armed fault has not fired yet.
+  static bool armed();
+};
 
 class SnapshotWriter {
  public:
@@ -47,8 +73,15 @@ class SnapshotWriter {
   std::vector<std::uint8_t> encode() const;
 
   /// Writes the container to `path` (tmp file + rename).  Returns the
-  /// byte count written.  Throws SnapshotError on any I/O failure.
+  /// byte count written.  Throws SnapshotError on any I/O failure; the
+  /// temporary file is removed on every error path.
   std::uint64_t write_file(const std::string& path) const;
+
+  /// Writes pre-encoded container bytes to `path` with the same
+  /// tmp+rename+cleanup discipline (used by chaos snapshot corruption,
+  /// which mutates encoded bytes before they hit disk).
+  static std::uint64_t write_bytes(const std::string& path,
+                                   std::span<const std::uint8_t> bytes);
 
  private:
   std::vector<std::pair<std::string, Serializer>> sections_;
@@ -56,29 +89,48 @@ class SnapshotWriter {
 
 class SnapshotReader {
  public:
-  /// Parses and fully validates a container.  Throws SnapshotError on bad
-  /// magic, unsupported version, truncation, or any CRC mismatch.
-  explicit SnapshotReader(std::vector<std::uint8_t> bytes);
+  enum class ReadMode {
+    kStrict,   ///< any damage anywhere throws (default)
+    kLenient,  ///< damaged sections are marked corrupt; intact ones readable
+  };
+
+  /// Parses a container.  Strict mode throws SnapshotError on bad magic,
+  /// unsupported version, truncation, or any CRC mismatch.  Lenient mode
+  /// throws only on bad magic / version and demotes per-section damage
+  /// (CRC mismatch, truncated tail) to corrupt-section markers.
+  explicit SnapshotReader(std::vector<std::uint8_t> bytes,
+                          ReadMode mode = ReadMode::kStrict);
 
   /// Reads and validates a container file.
-  static SnapshotReader from_file(const std::string& path);
+  static SnapshotReader from_file(const std::string& path,
+                                  ReadMode mode = ReadMode::kStrict);
 
+  /// True when `name` is present *and* intact.
   bool has(const std::string& name) const;
-  /// Deserializer over a verified section payload; throws if absent.
+  /// Deserializer over a verified section payload; throws if absent or
+  /// corrupt.
   Deserializer section(const std::string& name) const;
   std::uint64_t section_bytes(const std::string& name) const;
   std::uint64_t total_bytes() const { return bytes_.size(); }
+
+  /// Names of sections whose payloads failed validation (lenient mode;
+  /// always empty for a strict reader, which would have thrown).
+  const std::vector<std::string>& corrupt_sections() const {
+    return corrupt_;
+  }
 
  private:
   struct Section {
     std::string name;
     std::size_t offset = 0;
     std::size_t length = 0;
+    bool valid = true;
   };
   const Section* find(const std::string& name) const;
 
   std::vector<std::uint8_t> bytes_;
   std::vector<Section> sections_;
+  std::vector<std::string> corrupt_;
 };
 
 }  // namespace leaf::io

@@ -17,6 +17,13 @@ const char* to_string(EventKind k) {
     case EventKind::kNonFinite: return "nonfinite_error";
     case EventKind::kHealthTransition: return "health_transition";
     case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kShardFaulted: return "shard_faulted";
+    case EventKind::kShardRecovered: return "shard_recovered";
+    case EventKind::kShardQuarantined: return "shard_quarantined";
+    case EventKind::kSnapshotFallback: return "snapshot_fallback";
+    case EventKind::kBreakerOpen: return "breaker_open";
+    case EventKind::kBreakerHalfOpen: return "breaker_half_open";
+    case EventKind::kBreakerClose: return "breaker_close";
   }
   return "?";
 }
@@ -97,7 +104,7 @@ void EventLog::load(io::Deserializer& in) {
   std::vector<Event> events(count);
   for (Event& e : events) {
     const std::uint8_t kind = in.get_u8();
-    if (kind > static_cast<std::uint8_t>(EventKind::kQuarantine))
+    if (kind > kMaxEventKind)
       throw io::SnapshotError("event log: unknown event kind " +
                               std::to_string(static_cast<int>(kind)));
     e.kind = static_cast<EventKind>(kind);

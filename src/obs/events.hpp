@@ -34,7 +34,19 @@ enum class EventKind : std::uint8_t {
   kNonFinite = 4,        ///< non-finite error suppressed
   kHealthTransition = 5, ///< ingest health FSM changed state
   kQuarantine = 6,       ///< ingest quarantined records/values (per day)
+  // Supervision & self-healing (leaf::serve).
+  kShardFaulted = 7,     ///< a shard's step threw; shard marked FAULTED
+  kShardRecovered = 8,   ///< a FAULTED shard stepped cleanly again
+  kShardQuarantined = 9, ///< retries exhausted; shard permanently skipped
+  kSnapshotFallback = 10,///< restore fell back to an older generation
+  kBreakerOpen = 11,     ///< retrain circuit breaker tripped OPEN
+  kBreakerHalfOpen = 12, ///< cooldown elapsed; probe retrain allowed
+  kBreakerClose = 13,    ///< probe succeeded; breaker back to CLOSED
 };
+
+/// Highest valid EventKind value (snapshot loaders validate against it).
+inline constexpr std::uint8_t kMaxEventKind =
+    static_cast<std::uint8_t>(EventKind::kBreakerClose);
 
 const char* to_string(EventKind k);
 

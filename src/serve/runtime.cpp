@@ -1,15 +1,20 @@
 #include "serve/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <map>
+#include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/calendar.hpp"
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
+#include "core/scheme.hpp"
 #include "io/serializer.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -19,7 +24,7 @@ namespace leaf::serve {
 
 namespace {
 
-constexpr const char* kFleetFile = "fleet.leafsnap";
+constexpr const char* kLegacyFleetFile = "fleet.leafsnap";
 
 void write_ints(io::Serializer& out, const std::vector<int>& v) {
   out.put_ints(v);
@@ -31,7 +36,73 @@ std::string fmt6(double v) {
   return buf;
 }
 
+/// Path of snapshot generation `gen` (gen 0 = the legacy single-file name
+/// from format v2 deployments, kept discoverable so resuming from one
+/// fails with "unsupported format version" instead of "no snapshot").
+std::string gen_path(const std::string& dir, std::uint64_t gen) {
+  if (gen == 0) return (std::filesystem::path(dir) / kLegacyFleetFile).string();
+  char name[40];
+  std::snprintf(name, sizeof name, "fleet-%06llu.leafsnap",
+                static_cast<unsigned long long>(gen));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+std::uint32_t read_le32(std::span<const std::uint8_t> b, std::size_t pos) {
+  return static_cast<std::uint32_t>(b[pos]) |
+         static_cast<std::uint32_t>(b[pos + 1]) << 8 |
+         static_cast<std::uint32_t>(b[pos + 2]) << 16 |
+         static_cast<std::uint32_t>(b[pos + 3]) << 24;
+}
+
+std::uint64_t read_le64(std::span<const std::uint8_t> b, std::size_t pos) {
+  return static_cast<std::uint64_t>(read_le32(b, pos)) |
+         static_cast<std::uint64_t>(read_le32(b, pos + 4)) << 32;
+}
+
+/// Walks an encoded LEAFSNAP container and returns the payload range of
+/// the named section (chaos snapshot corruption flips a bit inside it).
+std::optional<std::pair<std::size_t, std::size_t>> find_section_payload(
+    std::span<const std::uint8_t> bytes, const std::string& name) {
+  std::size_t pos = sizeof(io::kMagic) + 4;  // magic + version
+  if (pos + 4 > bytes.size()) return std::nullopt;
+  const std::uint32_t count = read_le32(bytes, pos);
+  pos += 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > bytes.size()) return std::nullopt;
+    const std::uint32_t name_len = read_le32(bytes, pos);
+    pos += 4;
+    if (pos + name_len + 8 + 4 > bytes.size()) return std::nullopt;
+    const std::string section_name(
+        reinterpret_cast<const char*>(bytes.data() + pos), name_len);
+    pos += name_len;
+    const std::uint64_t payload_len = read_le64(bytes, pos);
+    pos += 8 + 4;  // payload_len + crc
+    if (pos + payload_len > bytes.size()) return std::nullopt;
+    if (section_name == name && payload_len > 0)
+      return std::make_pair(pos, static_cast<std::size_t>(payload_len));
+    pos += payload_len;
+  }
+  return std::nullopt;
+}
+
+/// Thrown when a snapshot's meta section parses cleanly but describes a
+/// different fleet than this runtime — a configuration error, never
+/// something generation fallback should paper over.
+class FleetMismatch : public io::SnapshotError {
+ public:
+  using io::SnapshotError::SnapshotError;
+};
+
 }  // namespace
+
+const char* to_string(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kHealthy: return "healthy";
+    case ShardHealth::kFaulted: return "faulted";
+    case ShardHealth::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
 
 /// One shard = one (KPI, model family, scheme) pipeline.  `step()` is the
 /// loop body of core::run_scheme verbatim (uncached path, no ingest
@@ -59,9 +130,19 @@ struct FleetRuntime::Shard {
   double norm_range = 0.0;
   bool done = false;
   std::uint64_t steps = 0;
+  // --- supervision state (also snapshotted) -----------------------------
+  bool initialized = false;
+  ShardHealth health = ShardHealth::kHealthy;
+  int consecutive_failures = 0;
+  int total_faults = 0;
+  std::uint64_t backoff_until = 0;  ///< fleet step of the next retry
+  std::string last_error;
+  core::RetrainBreaker breaker;
+  obs::EventLog supervision;  ///< single-writer, like `events`
 
   Shard(ShardSpec s, const data::Featurizer& f, double disp,
-        const core::EvalConfig& c, const Scale& scale)
+        const core::EvalConfig& c, const Scale& scale,
+        const core::BreakerConfig& bcfg)
       : spec(s),
         featurizer(&f),
         dispersion(disp),
@@ -69,7 +150,14 @@ struct FleetRuntime::Shard {
         prototype(models::make_model(spec.model, scale, cfg.seed)),
         scheme(core::make_scheme(spec.scheme, disp, cfg.seed ^ 0x99)),
         detector(cfg.detector),
-        rng(cfg.seed) {}
+        rng(cfg.seed),
+        breaker(bcfg) {}
+
+  void emit_supervision(obs::EventKind kind, int day, std::string detail) {
+    supervision.emit({kind, day, index, data::to_string(spec.kpi),
+                      prototype->name(), scheme->name(), std::move(detail),
+                      0.0});
+  }
 
   /// Initial training, mirroring the run_scheme preamble.
   void init() {
@@ -102,10 +190,21 @@ struct FleetRuntime::Shard {
     next_day = anchor + cfg.horizon;
     done = next_day >= num_days;
     steps = 0;
+    health = ShardHealth::kHealthy;
+    consecutive_failures = 0;
+    total_faults = 0;
+    backoff_until = 0;
+    last_error.clear();
+    breaker.reset();
+    supervision.clear();
+    initialized = true;
   }
 
   /// One evaluation step (the run_scheme loop body for day = next_day).
-  void step() {
+  /// `storm_retrain` is the chaos retrain-storm fault point: force a
+  /// Triggered-style retrain request this step (gated by the breaker like
+  /// any other request).
+  void step(bool storm_retrain) {
     if (done) return;
     LEAF_SPAN("serve.step");
     static obs::Counter& steps_ctr =
@@ -120,6 +219,8 @@ struct FleetRuntime::Shard {
         obs::MetricsRegistry::global().counter("leaf_drift_events_total");
     static obs::Counter& retrain_ctr =
         obs::MetricsRegistry::global().counter("leaf_retrains_total");
+    static obs::Counter& suppressed_ctr = obs::MetricsRegistry::global().counter(
+        "leaf_breaker_suppressed_retrains_total");
     static obs::Histogram& retrain_latency =
         obs::MetricsRegistry::global().histogram("leaf_retrain_latency_seconds",
                                                  obs::latency_buckets());
@@ -192,13 +293,52 @@ struct FleetRuntime::Shard {
                             .shard = index};
     const double retrain_t0 = obs::enabled() ? obs::monotonic_seconds() : 0.0;
     std::optional<data::SupervisedSet> new_train = scheme->on_step(ctx);
+    std::unique_ptr<models::Regressor> replacement =
+        scheme->take_replacement_model();
+    if (storm_retrain && replacement == nullptr &&
+        (!new_train.has_value() || new_train->empty())) {
+      data::SupervisedSet forced =
+          core::latest_labeled_window(ctx, cfg.train_window);
+      if (!forced.empty()) new_train = std::move(forced);
+    }
+
+    const bool wants_retrain =
+        replacement != nullptr || (new_train.has_value() && !new_train->empty());
+    if (!wants_retrain) return;
+
+    // Retrain circuit breaker: a storm of requests inside the sliding
+    // window trips it OPEN and the shard keeps serving its frozen model
+    // (counted like the ingest OUTAGE freeze).  Disabled by default.
+    using BState = core::RetrainBreaker::State;
+    const BState before = breaker.state();
+    const bool allowed = breaker.allow(day);
+    const BState after = breaker.state();
+    if (before == BState::kOpen && after != BState::kOpen)
+      emit_supervision(obs::EventKind::kBreakerHalfOpen, day,
+                       "cooldown over, probe retrain");
+    if (after == BState::kOpen && before != BState::kOpen)
+      emit_supervision(obs::EventKind::kBreakerOpen, day,
+                       "max_retrains=" +
+                           std::to_string(breaker.config().max_retrains) +
+                           ",window_days=" +
+                           std::to_string(breaker.config().window_days) +
+                           ",open_until_day=" +
+                           std::to_string(breaker.open_until()));
+    if (after == BState::kClosed && before == BState::kOpen)
+      emit_supervision(obs::EventKind::kBreakerClose, day,
+                       "probe retrain allowed");
+    if (!allowed) {
+      ++result.degraded.suppressed_retrains;
+      suppressed_ctr.inc();
+      return;
+    }
+
     bool retrained = false;
-    if (std::unique_ptr<models::Regressor> replacement =
-            scheme->take_replacement_model()) {
+    if (replacement != nullptr) {
       model = std::move(replacement);
       result.retrain_days.push_back(day);
       retrained = true;
-    } else if (new_train.has_value() && !new_train->empty()) {
+    } else {
       train = std::move(*new_train);
       model = prototype->clone_untrained();
       model->attach_caches(&fit_caches);
@@ -228,6 +368,18 @@ struct FleetRuntime::Shard {
   }
 
   void save(io::Serializer& out) const {
+    // Format v3: supervision state leads, so even a shard that never
+    // initialized (init threw, quarantined) snapshots cleanly.
+    out.put_bool(initialized);
+    out.put_u8(static_cast<std::uint8_t>(health));
+    out.put_i32(consecutive_failures);
+    out.put_i32(total_faults);
+    out.put_u64(backoff_until);
+    out.put_string(last_error);
+    breaker.save_state(out);
+    supervision.save(out);
+    if (!initialized) return;
+
     io::write(out, rng);
     detector.save_state(out);
     scheme->save_state(out);
@@ -259,6 +411,14 @@ struct FleetRuntime::Shard {
   /// Fully parsed shard state, applied only after the whole snapshot
   /// parses cleanly (no partial restore).
   struct Restored {
+    bool initialized = false;
+    ShardHealth health = ShardHealth::kHealthy;
+    int consecutive_failures = 0;
+    int total_faults = 0;
+    std::uint64_t backoff_until = 0;
+    std::string last_error;
+    core::RetrainBreaker breaker;
+    obs::EventLog supervision;
     Rng::State rng;
     std::unique_ptr<drift::Kswin> detector;
     std::unique_ptr<core::MitigationScheme> scheme;
@@ -277,6 +437,28 @@ struct FleetRuntime::Shard {
 
   Restored parse(io::Deserializer& in) const {
     Restored r;
+    r.initialized = in.get_bool();
+    const std::uint8_t health = in.get_u8();
+    if (health > static_cast<std::uint8_t>(ShardHealth::kQuarantined))
+      throw io::SnapshotError("shard: unknown health state " +
+                              std::to_string(static_cast<int>(health)));
+    r.health = static_cast<ShardHealth>(health);
+    r.consecutive_failures = in.get_i32();
+    r.total_faults = in.get_i32();
+    r.backoff_until = in.get_u64();
+    r.last_error = in.get_string();
+    r.breaker = core::RetrainBreaker(breaker.config());
+    r.breaker.load_state(in);
+    r.supervision.load(in);
+    if (!r.initialized) {
+      if (r.health != ShardHealth::kQuarantined)
+        throw io::SnapshotError(
+            "shard snapshotted uninitialized but not quarantined");
+      if (!in.exhausted())
+        throw io::SnapshotError("trailing bytes after shard state");
+      return r;
+    }
+
     Rng tmp_rng(cfg.seed);
     io::read_rng(in, tmp_rng);
     r.rng = tmp_rng.capture();
@@ -321,6 +503,15 @@ struct FleetRuntime::Shard {
   }
 
   void apply(Restored&& r) {
+    initialized = r.initialized;
+    health = r.health;
+    consecutive_failures = r.consecutive_failures;
+    total_faults = r.total_faults;
+    backoff_until = r.backoff_until;
+    last_error = std::move(r.last_error);
+    breaker = std::move(r.breaker);
+    supervision = std::move(r.supervision);
+    if (!initialized) return;
     rng.restore(r.rng);
     detector = std::move(*r.detector);
     scheme = std::move(r.scheme);
@@ -341,11 +532,15 @@ struct FleetRuntime::Shard {
 
 FleetRuntime::FleetRuntime(const data::CellularDataset& ds, const Scale& scale,
                            std::vector<ShardSpec> specs,
-                           std::uint64_t fleet_seed)
+                           std::uint64_t fleet_seed,
+                           SupervisorConfig supervisor)
     : ds_(&ds), scale_(scale), specs_(std::move(specs)),
-      fleet_seed_(fleet_seed) {
+      fleet_seed_(fleet_seed), supervisor_(std::move(supervisor)),
+      chaos_(supervisor_.chaos) {
   if (specs_.empty())
     throw std::invalid_argument("FleetRuntime: at least one shard required");
+  if (supervisor_.snapshot_keep < 1)
+    throw std::invalid_argument("FleetRuntime: snapshot_keep must be >= 1");
 
   // One featurizer (and dispersion) per distinct KPI, shared read-only by
   // the shards forecasting it.
@@ -368,8 +563,9 @@ FleetRuntime::FleetRuntime(const data::CellularDataset& ds, const Scale& scale,
     if (seed == 0) seed = fleet_rng.substream(i)();
     const auto [featurizer, dispersion] = by_kpi[spec.kpi];
     core::EvalConfig cfg = core::make_eval_config(scale_, seed);
-    shards_.push_back(
-        std::make_unique<Shard>(spec, *featurizer, dispersion, cfg, scale_));
+    shards_.push_back(std::make_unique<Shard>(spec, *featurizer, dispersion,
+                                              cfg, scale_,
+                                              supervisor_.breaker));
     shards_.back()->index = static_cast<int>(i);
   }
 }
@@ -378,20 +574,107 @@ FleetRuntime::~FleetRuntime() = default;
 
 bool FleetRuntime::done() const {
   for (const auto& s : shards_)
-    if (!s->done) return false;
+    if (!s->done && s->health != ShardHealth::kQuarantined) return false;
   return true;
+}
+
+void FleetRuntime::handle_shard_failure(Shard& shard,
+                                        std::uint64_t fleet_step,
+                                        const char* what) {
+  static obs::Counter& faults_ctr =
+      obs::MetricsRegistry::global().counter("leaf_shard_faults_total");
+  static obs::Counter& quarantine_ctr =
+      obs::MetricsRegistry::global().counter("leaf_shard_quarantines_total");
+  ++shard.consecutive_failures;
+  ++shard.total_faults;
+  shard.last_error = what;
+  faults_ctr.inc();
+  const std::string context =
+      "fleet_step=" + std::to_string(fleet_step) +
+      ",failures=" + std::to_string(shard.consecutive_failures) +
+      ",error=" + shard.last_error;
+  if (!shard.initialized ||
+      shard.consecutive_failures > supervisor_.recovery.max_retries) {
+    // Init failures are configuration/data problems a retry cannot fix;
+    // step failures escalate once the retry budget is spent.
+    shard.health = ShardHealth::kQuarantined;
+    quarantine_ctr.inc();
+    shard.emit_supervision(obs::EventKind::kShardQuarantined, shard.next_day,
+                           context);
+    LEAF_LOG_ERROR("serve: shard %d quarantined (%s)", shard.index,
+                   context.c_str());
+  } else {
+    shard.health = ShardHealth::kFaulted;
+    const std::uint64_t backoff =
+        static_cast<std::uint64_t>(supervisor_.recovery.backoff_base_steps)
+        << (shard.consecutive_failures - 1);
+    shard.backoff_until = fleet_step + 1 + backoff;
+    shard.emit_supervision(
+        obs::EventKind::kShardFaulted, shard.next_day,
+        context + ",retry_at_step=" + std::to_string(shard.backoff_until));
+    LEAF_LOG_WARN("serve: shard %d faulted, retry at fleet step %llu (%s)",
+                  shard.index,
+                  static_cast<unsigned long long>(shard.backoff_until),
+                  context.c_str());
+  }
 }
 
 void FleetRuntime::start() {
   if (started_) return;
   started_ = true;
-  par::parallel_for(shards_.size(), [&](std::size_t i) { shards_[i]->init(); });
+  par::parallel_for(shards_.size(), [&](std::size_t i) {
+    try {
+      shards_[i]->init();
+    } catch (const std::exception& e) {
+      handle_shard_failure(*shards_[i], 0, e.what());
+    }
+  });
+}
+
+void FleetRuntime::step_shard(Shard& shard, std::uint64_t fleet_step) {
+  static obs::Counter& recovered_ctr =
+      obs::MetricsRegistry::global().counter("leaf_shard_recoveries_total");
+  if (shard.done || !shard.initialized ||
+      shard.health == ShardHealth::kQuarantined)
+    return;
+  if (shard.health == ShardHealth::kFaulted &&
+      fleet_step < shard.backoff_until)
+    return;  // waiting out the backoff
+  try {
+    bool storm = false;
+    if (chaos_.enabled()) {
+      if (chaos_.slow_step(shard.index, fleet_step))
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(chaos_.config().slow_ms));
+      if (chaos_.throw_step(shard.index, fleet_step))
+        throw chaos::Fault("injected step fault (shard " +
+                           std::to_string(shard.index) + ", fleet step " +
+                           std::to_string(fleet_step) + ")");
+      storm = chaos_.retrain_storm(shard.index, fleet_step);
+    }
+    shard.step(storm);
+    if (shard.health == ShardHealth::kFaulted) {
+      shard.health = ShardHealth::kHealthy;
+      shard.consecutive_failures = 0;
+      recovered_ctr.inc();
+      shard.emit_supervision(
+          obs::EventKind::kShardRecovered, shard.next_day,
+          "fleet_step=" + std::to_string(fleet_step) +
+              ",after_failures=" + std::to_string(shard.total_faults));
+      LEAF_LOG_INFO("serve: shard %d recovered at fleet step %llu",
+                    shard.index, static_cast<unsigned long long>(fleet_step));
+    }
+  } catch (const std::exception& e) {
+    handle_shard_failure(shard, fleet_step, e.what());
+  }
 }
 
 bool FleetRuntime::step() {
   start();
   if (done()) return false;
-  par::parallel_for(shards_.size(), [&](std::size_t i) { shards_[i]->step(); });
+  const std::uint64_t fleet_step = steps_run_;
+  par::parallel_for(shards_.size(),
+                    [&](std::size_t i) { step_shard(*shards_[i], fleet_step); });
   ++steps_run_;
   return !done();
 }
@@ -413,10 +696,46 @@ std::uint64_t FleetRuntime::run_steps(std::uint64_t n) {
   return ran;
 }
 
-std::uint64_t FleetRuntime::snapshot(const std::string& dir) const {
+std::vector<std::uint64_t> FleetRuntime::snapshot_generations(
+    const std::string& dir) {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name == kLegacyFleetFile) {
+      gens.push_back(0);
+      continue;
+    }
+    unsigned long long gen = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "fleet-%llu.leafsnap%n", &gen,
+                    &consumed) == 1 &&
+        consumed == static_cast<int>(name.size()) && gen > 0)
+      gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+bool FleetRuntime::has_snapshot(const std::string& dir) {
+  return !snapshot_generations(dir).empty();
+}
+
+std::uint64_t FleetRuntime::snapshot(const std::string& dir) {
   if (!started_)
     throw io::SnapshotError("cannot snapshot before the fleet has started");
-  std::filesystem::create_directories(dir);
+  static obs::Counter& failures_ctr =
+      obs::MetricsRegistry::global().counter("leaf_snapshot_failures_total");
+  // An unwritable directory is a write failure like any other: logged and
+  // counted below, never fatal to the fleet.
+  std::error_code dir_ec;
+  std::filesystem::create_directories(dir, dir_ec);
+  if (dir_ec) {
+    failures_ctr.inc();
+    LEAF_LOG_ERROR("serve: cannot create snapshot dir '%s': %s", dir.c_str(),
+                   dir_ec.message().c_str());
+    return 0;
+  }
   io::SnapshotWriter writer;
 
   io::Serializer& meta = writer.section("meta");
@@ -433,63 +752,185 @@ std::uint64_t FleetRuntime::snapshot(const std::string& dir) const {
   for (std::size_t i = 0; i < shards_.size(); ++i)
     shards_[i]->save(writer.section("shard" + std::to_string(i)));
 
+  // Generation counter advances even when the write fails: the failed
+  // generation number is burned, like a crashed deployment's would be.
+  const std::uint64_t gen = ++snapshot_gen_;
+  const std::string path = gen_path(dir, gen);
+
+  std::vector<std::uint8_t> bytes = writer.encode();
+  if (chaos_.enabled() && chaos_.corrupt_snapshot(gen)) {
+    const int target =
+        chaos_.corrupt_target(shards_.size(), gen);
+    const auto payload = find_section_payload(
+        bytes, "shard" + std::to_string(target));
+    if (payload.has_value()) {
+      bytes[payload->first + payload->second / 2] ^= 0x01;
+      LEAF_LOG_WARN("serve: chaos corrupted shard %d in snapshot gen %llu",
+                    target, static_cast<unsigned long long>(gen));
+    }
+  }
+
   const obs::Stopwatch sw;
-  const std::uint64_t bytes =
-      writer.write_file((std::filesystem::path(dir) / kFleetFile).string());
+  std::uint64_t written = 0;
+  try {
+    std::optional<io::ScopedWriteFault> fault;
+    if (chaos_.enabled() && chaos_.partial_write(gen))
+      fault.emplace(bytes.size() / 2);
+    written = io::SnapshotWriter::write_bytes(path, bytes);
+  } catch (const io::SnapshotError& e) {
+    // A failed snapshot must not take the fleet down: serving continues on
+    // the previous generations.
+    failures_ctr.inc();
+    LEAF_LOG_ERROR("serve: snapshot gen %llu failed: %s",
+                   static_cast<unsigned long long>(gen), e.what());
+    return 0;
+  }
   const double secs = sw.seconds();
+
+  // Retention: keep the newest snapshot_keep generations.
+  const std::vector<std::uint64_t> gens = snapshot_generations(dir);
+  if (gens.size() > static_cast<std::size_t>(supervisor_.snapshot_keep)) {
+    const std::size_t drop =
+        gens.size() - static_cast<std::size_t>(supervisor_.snapshot_keep);
+    for (std::size_t i = 0; i < drop; ++i) {
+      std::error_code ec;
+      std::filesystem::remove(gen_path(dir, gens[i]), ec);
+    }
+  }
+
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   reg.counter("leaf_snapshots_total").inc();
   reg.histogram("leaf_snapshot_write_seconds", obs::latency_buckets())
       .observe(secs);
-  reg.gauge("leaf_snapshot_bytes").set(static_cast<double>(bytes));
+  reg.gauge("leaf_snapshot_bytes").set(static_cast<double>(written));
   // Operational message: deliberately NOT an event-log entry, or a resumed
   // run's event stream could never match an uninterrupted one.
-  LEAF_LOG_INFO("serve: snapshot at step %llu -> %s (%llu bytes)",
+  LEAF_LOG_INFO("serve: snapshot gen %llu at step %llu -> %s (%llu bytes)",
+                static_cast<unsigned long long>(gen),
                 static_cast<unsigned long long>(steps_run_), dir.c_str(),
-                static_cast<unsigned long long>(bytes));
-  return bytes;
+                static_cast<unsigned long long>(written));
+  return written;
 }
 
 void FleetRuntime::restore(const std::string& dir) {
-  const auto reader = io::SnapshotReader::from_file(
-      (std::filesystem::path(dir) / kFleetFile).string());
+  const std::vector<std::uint64_t> gens_asc = snapshot_generations(dir);
+  if (gens_asc.empty())
+    throw io::SnapshotError("no snapshot generations in '" + dir + "'");
 
-  io::Deserializer meta = reader.section("meta");
-  if (meta.get_u64() != fleet_seed_)
-    throw io::SnapshotError("fleet seed mismatch between snapshot and runtime");
-  const std::uint64_t steps_run = meta.get_u64();
-  if (meta.get_u64() != shards_.size())
-    throw io::SnapshotError("shard count mismatch between snapshot and runtime");
-  for (const auto& shard : shards_) {
-    const std::string kpi = meta.get_string();
-    const std::string model = meta.get_string();
-    const std::string scheme = meta.get_string();
-    const std::uint64_t seed = meta.get_u64();
-    if (kpi != data::to_string(shard->spec.kpi) ||
-        model != models::to_string(shard->spec.model) ||
-        scheme != shard->spec.scheme || seed != shard->cfg.seed)
-      throw io::SnapshotError(
-          "shard configuration mismatch between snapshot and runtime "
-          "(snapshot: " + kpi + "/" + model + "/" + scheme + ")");
+  // Walk generations newest-first.  The newest generation with a valid,
+  // matching meta section anchors steps_run; each shard restores from the
+  // newest generation whose section parses, falling back per shard.
+  std::vector<std::optional<Shard::Restored>> restored(shards_.size());
+  std::vector<std::uint64_t> restored_gen(shards_.size(), 0);
+  bool meta_ok = false;
+  std::uint64_t anchor_gen = 0;
+  std::uint64_t steps_run = 0;
+  std::string first_error;
+  std::size_t remaining = shards_.size();
+  const auto note_error = [&first_error](const std::string& what) {
+    if (first_error.empty()) first_error = what;
+  };
+
+  for (auto it = gens_asc.rbegin(); it != gens_asc.rend() && remaining > 0;
+       ++it) {
+    const std::uint64_t gen = *it;
+    std::optional<io::SnapshotReader> reader;
+    try {
+      reader.emplace(io::SnapshotReader::from_file(
+          gen_path(dir, gen), io::SnapshotReader::ReadMode::kLenient));
+    } catch (const io::SnapshotError& e) {
+      note_error(e.what());  // unreadable container (magic/version/short)
+      continue;
+    }
+    std::uint64_t gen_steps = 0;
+    try {
+      io::Deserializer meta = reader->section("meta");
+      if (meta.get_u64() != fleet_seed_)
+        throw FleetMismatch(
+            "fleet seed mismatch between snapshot and runtime");
+      gen_steps = meta.get_u64();
+      if (meta.get_u64() != shards_.size())
+        throw FleetMismatch(
+            "shard count mismatch between snapshot and runtime");
+      for (const auto& shard : shards_) {
+        const std::string kpi = meta.get_string();
+        const std::string model = meta.get_string();
+        const std::string scheme = meta.get_string();
+        const std::uint64_t seed = meta.get_u64();
+        if (kpi != data::to_string(shard->spec.kpi) ||
+            model != models::to_string(shard->spec.model) ||
+            scheme != shard->spec.scheme || seed != shard->cfg.seed)
+          throw FleetMismatch(
+              "shard configuration mismatch between snapshot and runtime "
+              "(snapshot: " + kpi + "/" + model + "/" + scheme + ")");
+      }
+    } catch (const FleetMismatch&) {
+      throw;  // a *different* fleet is never something fallback repairs
+    } catch (const io::SnapshotError& e) {
+      note_error(e.what());  // damaged meta: this generation is unusable
+      continue;
+    }
+    if (!meta_ok) {
+      meta_ok = true;
+      anchor_gen = gen;
+      steps_run = gen_steps;
+    }
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (restored[i].has_value()) continue;
+      try {
+        io::Deserializer in = reader->section("shard" + std::to_string(i));
+        restored[i] = shards_[i]->parse(in);
+        restored_gen[i] = gen;
+        --remaining;
+      } catch (const io::SnapshotError& e) {
+        note_error("shard " + std::to_string(i) + " gen " +
+                   std::to_string(gen) + ": " + e.what());
+      }
+    }
   }
 
-  // Parse every shard into temporaries first; only a fully valid snapshot
-  // mutates the runtime.
-  std::vector<Shard::Restored> restored;
-  restored.reserve(shards_.size());
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    io::Deserializer in = reader.section("shard" + std::to_string(i));
-    restored.push_back(shards_[i]->parse(in));
+  if (!meta_ok)
+    throw io::SnapshotError("no readable snapshot generation in '" + dir +
+                            "' (" + first_error + ")");
+  if (remaining > 0) {
+    std::string missing;
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+      if (!restored[i].has_value())
+        missing += (missing.empty() ? "" : ",") + std::to_string(i);
+    throw io::SnapshotError("shard(s) " + missing +
+                            " unreadable in every retained generation (" +
+                            first_error + ")");
   }
 
+  // Only a fully restorable fleet mutates the runtime.
   for (std::size_t i = 0; i < shards_.size(); ++i)
-    shards_[i]->apply(std::move(restored[i]));
+    shards_[i]->apply(std::move(*restored[i]));
   steps_run_ = steps_run;
   started_ = true;
-  obs::MetricsRegistry::global().counter("leaf_restores_total").inc();
-  LEAF_LOG_INFO("serve: restored %zu shards at step %llu from %s",
+  snapshot_gen_ = gens_asc.back();
+
+  int fallbacks = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (restored_gen[i] == anchor_gen) continue;
+    ++fallbacks;
+    shards_[i]->emit_supervision(
+        obs::EventKind::kSnapshotFallback, -1,
+        "gen=" + std::to_string(restored_gen[i]) +
+            ",newest=" + std::to_string(anchor_gen));
+    LEAF_LOG_WARN("serve: shard %zu fell back to snapshot gen %llu "
+                  "(newest %llu damaged)",
+                  i, static_cast<unsigned long long>(restored_gen[i]),
+                  static_cast<unsigned long long>(anchor_gen));
+  }
+  snapshot_fallbacks_ = fallbacks;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (fallbacks > 0)
+    reg.counter("leaf_snapshot_fallbacks_total")
+        .inc(static_cast<std::uint64_t>(fallbacks));
+  reg.counter("leaf_restores_total").inc();
+  LEAF_LOG_INFO("serve: restored %zu shards at step %llu from %s (gen %llu)",
                 shards_.size(), static_cast<unsigned long long>(steps_run_),
-                dir.c_str());
+                dir.c_str(), static_cast<unsigned long long>(anchor_gen));
 }
 
 std::vector<core::EvalResult> FleetRuntime::results() const {
@@ -502,6 +943,7 @@ std::vector<core::EvalResult> FleetRuntime::results() const {
 ServeStats FleetRuntime::stats() const {
   ServeStats stats;
   stats.total_steps = steps_run_;
+  stats.snapshot_fallbacks = snapshot_fallbacks_;
   for (const auto& shard : shards_) {
     ShardStats s;
     s.kpi = data::to_string(shard->spec.kpi);
@@ -515,9 +957,21 @@ ServeStats FleetRuntime::stats() const {
     s.nonfinite_errors = shard->result.degraded.nonfinite_errors;
     s.next_day = shard->next_day;
     s.done = shard->done;
+    s.health = shard->health;
+    s.faults = shard->total_faults;
+    s.consecutive_failures = shard->consecutive_failures;
+    s.backoff_until = shard->backoff_until;
+    s.last_error = shard->last_error;
+    s.breaker_state = shard->breaker.state_name();
+    s.breaker_trips = shard->breaker.trips();
+    s.suppressed_retrains = shard->result.degraded.suppressed_retrains;
     stats.total_retrains += s.retrains;
     stats.total_drift_events += s.drift_events;
+    stats.total_faults += s.faults;
+    stats.total_breaker_trips += s.breaker_trips;
+    stats.total_suppressed_retrains += s.suppressed_retrains;
     if (s.done) ++stats.shards_done;
+    if (s.health == ShardHealth::kQuarantined) ++stats.shards_quarantined;
     stats.shards.push_back(std::move(s));
   }
   return stats;
@@ -534,6 +988,17 @@ std::string FleetRuntime::events_jsonl(bool with_timing) const {
   return obs::EventLog::to_jsonl(merged_events(), with_timing);
 }
 
+std::vector<obs::Event> FleetRuntime::supervision_events() const {
+  std::vector<const obs::EventLog*> logs;
+  logs.reserve(shards_.size());
+  for (const auto& shard : shards_) logs.push_back(&shard->supervision);
+  return obs::EventLog::merge(logs);
+}
+
+std::string FleetRuntime::supervision_jsonl(bool with_timing) const {
+  return obs::EventLog::to_jsonl(supervision_events(), with_timing);
+}
+
 std::string FleetRuntime::scrape(bool include_process) const {
   // Fleet-state-derived series: recomputed from shard state on every call,
   // so they are deterministic across LEAF_THREADS *and* across a
@@ -547,13 +1012,39 @@ std::string FleetRuntime::scrape(bool include_process) const {
     out += buf;
   };
   const ServeStats st = stats();
-  const char* kShardMetrics[] = {
-      "leaf_fleet_shard_steps",       "leaf_fleet_shard_days_evaluated",
-      "leaf_fleet_shard_retrains",    "leaf_fleet_shard_drift_events",
-      "leaf_fleet_shard_days_skipped", "leaf_fleet_shard_done"};
-  for (const char* m : kShardMetrics) {
+  struct ShardSeries {
+    const char* name;
+    long long (*get)(const ShardStats&);
+  };
+  static constexpr ShardSeries kShardSeries[] = {
+      {"leaf_fleet_shard_steps",
+       [](const ShardStats& s) { return static_cast<long long>(s.steps); }},
+      {"leaf_fleet_shard_days_evaluated",
+       [](const ShardStats& s) { return static_cast<long long>(s.days_evaluated); }},
+      {"leaf_fleet_shard_retrains",
+       [](const ShardStats& s) { return static_cast<long long>(s.retrains); }},
+      {"leaf_fleet_shard_drift_events",
+       [](const ShardStats& s) { return static_cast<long long>(s.drift_events); }},
+      {"leaf_fleet_shard_days_skipped",
+       [](const ShardStats& s) { return static_cast<long long>(s.days_skipped); }},
+      {"leaf_fleet_shard_done",
+       [](const ShardStats& s) { return static_cast<long long>(s.done ? 1 : 0); }},
+      {"leaf_fleet_shard_health",
+       [](const ShardStats& s) { return static_cast<long long>(s.health); }},
+      {"leaf_fleet_shard_faults",
+       [](const ShardStats& s) { return static_cast<long long>(s.faults); }},
+      {"leaf_fleet_shard_suppressed_retrains",
+       [](const ShardStats& s) {
+         return static_cast<long long>(s.suppressed_retrains);
+       }},
+      {"leaf_fleet_shard_breaker_open",
+       [](const ShardStats& s) {
+         return static_cast<long long>(s.breaker_state == "open" ? 1 : 0);
+       }},
+  };
+  for (const ShardSeries& series : kShardSeries) {
     out += "# TYPE ";
-    out += m;
+    out += series.name;
     out += " gauge\n";
     for (std::size_t i = 0; i < st.shards.size(); ++i) {
       const ShardStats& s = st.shards[i];
@@ -561,14 +1052,7 @@ std::string FleetRuntime::scrape(bool include_process) const {
           obs::label("shard", std::to_string(i)) + "," +
           obs::label("kpi", s.kpi) + "," + obs::label("model", s.model) +
           "," + obs::label("scheme", s.scheme);
-      long long v = 0;
-      if (m == kShardMetrics[0]) v = static_cast<long long>(s.steps);
-      else if (m == kShardMetrics[1]) v = s.days_evaluated;
-      else if (m == kShardMetrics[2]) v = s.retrains;
-      else if (m == kShardMetrics[3]) v = s.drift_events;
-      else if (m == kShardMetrics[4]) v = s.days_skipped;
-      else v = s.done ? 1 : 0;
-      line(m, labels, v);
+      line(series.name, labels, series.get(s));
     }
   }
   const auto total = [&out](const char* name, long long v) {
@@ -581,8 +1065,14 @@ std::string FleetRuntime::scrape(bool include_process) const {
   total("leaf_fleet_steps", static_cast<long long>(st.total_steps));
   total("leaf_fleet_shards", static_cast<long long>(st.shards.size()));
   total("leaf_fleet_shards_done", static_cast<long long>(st.shards_done));
+  total("leaf_fleet_shards_quarantined",
+        static_cast<long long>(st.shards_quarantined));
   total("leaf_fleet_retrains", st.total_retrains);
   total("leaf_fleet_drift_events", st.total_drift_events);
+  total("leaf_fleet_faults", st.total_faults);
+  total("leaf_fleet_breaker_trips", st.total_breaker_trips);
+  total("leaf_fleet_suppressed_retrains", st.total_suppressed_retrains);
+  total("leaf_fleet_snapshot_fallbacks", st.snapshot_fallbacks);
   if (include_process) out += obs::MetricsRegistry::global().scrape();
   return out;
 }

@@ -1,5 +1,5 @@
 // leaf::serve — sharded online serving runtime with versioned
-// snapshot/restore (leaf::io).
+// snapshot/restore (leaf::io) and fleet supervision / self-healing.
 //
 // A `FleetRuntime` owns N independent shards, one per (target KPI, model
 // family, mitigation scheme) pipeline over a shared dataset — the
@@ -14,22 +14,40 @@
 // Rng::substream (counter-based, order-independent), a fleet run is
 // bit-identical at any thread count.
 //
+// Supervision: a shard whose step throws is caught and marked FAULTED —
+// the exception never reaches the other shards, which keep stepping.  A
+// FAULTED shard is retried with exponential backoff measured in fleet
+// steps (never wall-clock, preserving the determinism contract) and
+// escalates to QUARANTINED once its retry budget is spent; a retry that
+// steps cleanly returns it to HEALTHY.  Because a shard's state is
+// private and fault handling never touches other shards, the healthy
+// subset of a faulted fleet produces byte-identical EvalResults and
+// drift-event streams to the same fleet with no faults at all — the
+// isolation invariant leaf::chaos exists to prove.
+//
 // The headline property is *crash-equivalence*: snapshot(dir) at any step
 // boundary captures every bit of mutable shard state (model, detector
 // window, scheme policy state, RNG streams, training set, partial
-// results, bin-edge caches); killing the process, constructing an
-// identically configured runtime, and restore(dir)-ing it continues the
-// run to byte-identical EvalResults and an identical retrain timeline.
-// Restore parses the complete snapshot into temporaries before committing
-// anything, so a corrupt file never leaves a partially restored fleet.
+// results, bin-edge caches, supervision state); killing the process,
+// constructing an identically configured runtime, and restore(dir)-ing it
+// continues the run to byte-identical EvalResults and an identical
+// retrain timeline.  Snapshots are retained as numbered generations
+// (fleet-NNNNNN.leafsnap, newest `snapshot_keep` kept): restore walks the
+// generations newest-first and falls back per shard to the last known
+// good generation when a section is damaged, instead of failing the
+// fleet.  Restore parses the complete state into temporaries before
+// committing anything, so a corrupt file never leaves a partially
+// restored fleet.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
+#include "core/breaker.hpp"
 #include "core/evaluation.hpp"
 #include "core/experiment.hpp"
 #include "data/dataset.hpp"
@@ -51,6 +69,40 @@ struct ShardSpec {
   std::uint64_t seed = 0;
 };
 
+/// Shard supervision FSM.  HEALTHY shards step normally; a FAULTED shard
+/// is waiting out its backoff before a retry; a QUARANTINED shard has
+/// spent its retry budget and is permanently skipped (its results so far
+/// remain readable).
+enum class ShardHealth : std::uint8_t {
+  kHealthy = 0,
+  kFaulted = 1,
+  kQuarantined = 2,
+};
+
+const char* to_string(ShardHealth h);
+
+/// Bounded-retry recovery policy for FAULTED shards.  All delays are in
+/// fleet steps, not wall-clock: after the k-th consecutive failure a
+/// shard skips `backoff_base_steps * 2^(k-1)` fleet steps before its
+/// next attempt, and after `max_retries` failed retries (i.e. on
+/// consecutive failure max_retries + 1) it is QUARANTINED.
+struct RecoveryPolicy {
+  int max_retries = 3;
+  int backoff_base_steps = 1;
+};
+
+/// Fleet supervision configuration: recovery, retrain circuit breaking,
+/// snapshot retention, and the chaos schedule (disabled by default).
+struct SupervisorConfig {
+  RecoveryPolicy recovery;
+  /// Per-shard retrain circuit breaker (0 max_retrains = disabled).
+  core::BreakerConfig breaker;
+  /// Snapshot generations to retain on disk (>= 1).
+  int snapshot_keep = 3;
+  /// Seeded fault-injection schedule (leaf::chaos); empty = no chaos.
+  chaos::ChaosConfig chaos;
+};
+
 /// Per-shard progress counters.
 struct ShardStats {
   std::string kpi;
@@ -64,6 +116,15 @@ struct ShardStats {
   int nonfinite_errors = 0;
   int next_day = 0;                ///< next target day this shard will score
   bool done = false;
+  // --- supervision ------------------------------------------------------
+  ShardHealth health = ShardHealth::kHealthy;
+  int faults = 0;                  ///< total step failures caught
+  int consecutive_failures = 0;
+  std::uint64_t backoff_until = 0; ///< fleet step of the next retry
+  std::string last_error;          ///< what() of the most recent failure
+  std::string breaker_state;       ///< "closed" / "open" / "half_open"
+  int breaker_trips = 0;
+  int suppressed_retrains = 0;     ///< retrains the breaker suppressed
 };
 
 struct ServeStats {
@@ -72,6 +133,12 @@ struct ServeStats {
   int total_retrains = 0;
   int total_drift_events = 0;
   std::size_t shards_done = 0;
+  // --- supervision ------------------------------------------------------
+  std::size_t shards_quarantined = 0;
+  int total_faults = 0;
+  int total_breaker_trips = 0;
+  int total_suppressed_retrains = 0;
+  int snapshot_fallbacks = 0;  ///< shard rollbacks during the last restore
 };
 
 class FleetRuntime {
@@ -79,20 +146,25 @@ class FleetRuntime {
   /// The dataset and scale must outlive the runtime.  Shards sharing a KPI
   /// share one (const) Featurizer.
   FleetRuntime(const data::CellularDataset& ds, const Scale& scale,
-               std::vector<ShardSpec> specs, std::uint64_t fleet_seed = 2024);
+               std::vector<ShardSpec> specs, std::uint64_t fleet_seed = 2024,
+               SupervisorConfig supervisor = {});
   ~FleetRuntime();
 
   FleetRuntime(const FleetRuntime&) = delete;
   FleetRuntime& operator=(const FleetRuntime&) = delete;
 
   std::size_t num_shards() const { return shards_.size(); }
+  /// True when every shard has either finished the dataset or been
+  /// QUARANTINED (a quarantined shard will never progress again).
   bool done() const;
   std::uint64_t steps_run() const { return steps_run_; }
+  const SupervisorConfig& supervisor() const { return supervisor_; }
 
   /// Advances every unfinished shard by one evaluation step (one stride of
   /// days), in parallel over the leaf::par pool.  Lazily performs the
-  /// initial fits on the first call.  Returns false when every shard has
-  /// walked off the end of the dataset.
+  /// initial fits on the first call.  A shard that throws is contained:
+  /// marked FAULTED (eventually QUARANTINED) while the rest keep
+  /// stepping.  Returns false when no shard can progress any further.
   bool step();
 
   /// Runs to completion; returns the number of step() calls made.
@@ -101,17 +173,32 @@ class FleetRuntime {
   /// Runs at most `n` steps; stops early when done.
   std::uint64_t run_steps(std::uint64_t n);
 
-  /// Writes <dir>/fleet.leafsnap (versioned, checksummed; see
-  /// io::SnapshotWriter).  Valid only at a step boundary, which is the
-  /// only time the caller can observe the runtime anyway.  Returns the
-  /// file size in bytes.
-  std::uint64_t snapshot(const std::string& dir) const;
+  /// Writes the next snapshot generation, <dir>/fleet-NNNNNN.leafsnap
+  /// (versioned, checksummed; see io::SnapshotWriter), then prunes
+  /// generations beyond supervisor().snapshot_keep.  Valid only at a step
+  /// boundary, which is the only time the caller can observe the runtime
+  /// anyway.  Returns the file size in bytes, or 0 when the write failed
+  /// (the fleet keeps serving; the failure is logged and counted).
+  std::uint64_t snapshot(const std::string& dir);
 
-  /// Restores from <dir>/fleet.leafsnap into this runtime.  The runtime
-  /// must have been constructed with the same dataset, scale, specs, and
-  /// fleet seed; any mismatch, truncation, checksum failure, or unknown
-  /// key throws io::SnapshotError *without* mutating this runtime.
+  /// Restores from the snapshot generations in `dir` into this runtime.
+  /// The runtime must have been constructed with the same dataset, scale,
+  /// specs, and fleet seed; a configuration mismatch throws
+  /// io::SnapshotError *without* mutating this runtime.  Damage in the
+  /// newest generation (CRC mismatch, truncation) triggers per-shard
+  /// fallback to the newest older generation whose section is intact —
+  /// recorded as `snapshot_fallback` supervision events — and only when a
+  /// shard has no readable section in any retained generation does the
+  /// restore fail.
   void restore(const std::string& dir);
+
+  /// True when `dir` holds at least one snapshot generation (readable or
+  /// not) — the "is there anything to resume from?" probe.
+  static bool has_snapshot(const std::string& dir);
+
+  /// Snapshot generation numbers present in `dir`, ascending.
+  static std::vector<std::uint64_t> snapshot_generations(
+      const std::string& dir);
 
   /// Finalized per-shard results (ne_p95 computed).  Call when done(), or
   /// mid-run for results-so-far.
@@ -128,6 +215,14 @@ class FleetRuntime {
   /// `elapsed_seconds` key (the form determinism checks compare).
   std::string events_jsonl(bool with_timing = true) const;
 
+  /// Supervision event stream (shard faults, recoveries, quarantines,
+  /// breaker transitions, snapshot fallbacks), merged like
+  /// merged_events().  Kept separate from the drift-event stream so the
+  /// drift telemetry of a healthy shard is byte-identical whether or not
+  /// *other* shards misbehaved.
+  std::vector<obs::Event> supervision_events() const;
+  std::string supervision_jsonl(bool with_timing = true) const;
+
   /// Prometheus text scrape: fleet-state-derived `leaf_fleet_*` series
   /// (deterministic and resume-safe, since they are recomputed from shard
   /// state) followed — when `include_process` — by the process-global
@@ -138,15 +233,22 @@ class FleetRuntime {
   struct Shard;
 
   void start();  // initial fits (idempotent)
+  void step_shard(Shard& shard, std::uint64_t fleet_step);
+  void handle_shard_failure(Shard& shard, std::uint64_t fleet_step,
+                            const char* what);
 
   const data::CellularDataset* ds_;
   Scale scale_;
   std::vector<ShardSpec> specs_;
   std::uint64_t fleet_seed_;
+  SupervisorConfig supervisor_;
+  chaos::Engine chaos_;
   std::vector<std::unique_ptr<data::Featurizer>> featurizers_;  // one per KPI
   std::vector<std::unique_ptr<Shard>> shards_;
   bool started_ = false;
   std::uint64_t steps_run_ = 0;
+  std::uint64_t snapshot_gen_ = 0;   ///< last generation written/restored
+  int snapshot_fallbacks_ = 0;       ///< rollbacks in the last restore
 };
 
 }  // namespace leaf::serve

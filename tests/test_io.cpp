@@ -20,6 +20,7 @@
 #include "models/ensemble.hpp"
 #include "models/factory.hpp"
 #include "models/persistence.hpp"
+#include "snapshot_fault_helpers.hpp"
 
 namespace leaf::io {
 namespace {
@@ -148,36 +149,95 @@ TEST(Snapshot, TruncatedFileFailsWithClearError) {
 }
 
 TEST(Snapshot, BitFlipFailsChecksum) {
-  std::vector<std::uint8_t> bytes = small_snapshot();
-  bytes[bytes.size() - 2] ^= 0x01;  // flip a payload bit in the last section
-  try {
-    const SnapshotReader r(bytes);
-    FAIL() << "corrupt snapshot accepted";
-  } catch (const SnapshotError& e) {
-    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
-  }
+  // Flip a payload bit in the last section.
+  const auto bytes = leaf::testing::flip_bit(small_snapshot(), -2);
+  leaf::testing::expect_snapshot_error([&] { SnapshotReader r(bytes); },
+                                       "checksum");
 }
 
 TEST(Snapshot, BadMagicRejected) {
-  std::vector<std::uint8_t> bytes = small_snapshot();
-  bytes[0] = 'X';
-  try {
-    const SnapshotReader r(bytes);
-    FAIL() << "bad magic accepted";
-  } catch (const SnapshotError& e) {
-    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
-  }
+  const auto bytes = leaf::testing::with_bad_magic(small_snapshot());
+  leaf::testing::expect_snapshot_error([&] { SnapshotReader r(bytes); },
+                                       "magic");
+  // Lenient mode exists to tolerate per-section damage, never a file that
+  // is not a snapshot at all.
+  leaf::testing::expect_snapshot_error(
+      [&] { SnapshotReader r(bytes, SnapshotReader::ReadMode::kLenient); },
+      "magic");
 }
 
 TEST(Snapshot, WrongFormatVersionRejected) {
+  const auto bytes = leaf::testing::with_format_version(small_snapshot(), 99);
+  leaf::testing::expect_snapshot_error([&] { SnapshotReader r(bytes); },
+                                       "version");
+  leaf::testing::expect_snapshot_error(
+      [&] { SnapshotReader r(bytes, SnapshotReader::ReadMode::kLenient); },
+      "version");
+}
+
+TEST(Snapshot, LenientReaderKeepsIntactSectionsReadable) {
   std::vector<std::uint8_t> bytes = small_snapshot();
-  bytes[8] = 99;  // format version word follows the 8-byte magic
-  try {
-    const SnapshotReader r(bytes);
-    FAIL() << "wrong version accepted";
-  } catch (const SnapshotError& e) {
-    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  ASSERT_TRUE(leaf::testing::corrupt_section_payload(bytes, "beta"));
+  const SnapshotReader r(bytes, SnapshotReader::ReadMode::kLenient);
+  EXPECT_TRUE(r.has("alpha"));
+  EXPECT_FALSE(r.has("beta"));  // present but corrupt
+  EXPECT_EQ(r.corrupt_sections(), std::vector<std::string>{"beta"});
+  Deserializer a = r.section("alpha");
+  EXPECT_EQ(a.get_string(), "first");
+  leaf::testing::expect_snapshot_error([&] { r.section("beta"); }, "checksum");
+}
+
+TEST(Snapshot, LenientReaderMarksTruncatedTailCorrupt) {
+  const std::vector<std::uint8_t> whole = small_snapshot();
+  // Cut into the last section's payload: strict throws, lenient still
+  // serves the sections before the cut.
+  const auto cut = leaf::testing::truncated(whole, whole.size() - 2);
+  leaf::testing::expect_snapshot_error([&] { SnapshotReader r(cut); },
+                                       "truncated");
+  const SnapshotReader r(cut, SnapshotReader::ReadMode::kLenient);
+  EXPECT_TRUE(r.has("alpha"));
+  EXPECT_FALSE(r.has("beta"));
+}
+
+TEST(Snapshot, WriteFailureLeavesNoTemporary) {
+  const std::string dir = ::testing::TempDir() + "leaf_io_write_fault";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/t.leafsnap";
+  SnapshotWriter w;
+  w.section("s").put_doubles(std::vector<double>(64, 1.25));
+  {
+    const ScopedWriteFault fault(8);  // fail after 8 bytes of the tmp file
+    leaf::testing::expect_snapshot_error([&] { w.write_file(path); },
+                                         "injected fault");
+    EXPECT_FALSE(ScopedWriteFault::armed()) << "fault should be consumed";
   }
+  // Regression: the failed write must not leave `t.leafsnap.tmp` (or any
+  // other litter) behind, and must not create the final file either.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  // The writer is reusable after a failed write.
+  const std::uint64_t bytes = w.write_file(path);
+  EXPECT_EQ(std::filesystem::file_size(path), bytes);
+}
+
+TEST(Snapshot, WriteFailurePreservesPreviousSnapshot) {
+  const std::string dir = ::testing::TempDir() + "leaf_io_write_keep";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/t.leafsnap";
+  SnapshotWriter first;
+  first.section("s").put_u64(1);
+  first.write_file(path);
+  SnapshotWriter second;
+  second.section("s").put_u64(2);
+  {
+    const ScopedWriteFault fault(4);
+    leaf::testing::expect_snapshot_error([&] { second.write_file(path); },
+                                         "injected fault");
+  }
+  // The old generation under the final name is untouched.
+  Deserializer in = SnapshotReader::from_file(path).section("s");
+  EXPECT_EQ(in.get_u64(), 1u);
 }
 
 // ---- model round trips ---------------------------------------------------
@@ -273,12 +333,8 @@ TEST(ModelIo, UnknownFactoryKeyThrows) {
   Serializer out;
   out.put_string("quantum_forest");
   Deserializer in(out.bytes());
-  try {
-    models::load_regressor(in);
-    FAIL() << "unknown key accepted";
-  } catch (const SnapshotError& e) {
-    EXPECT_NE(std::string(e.what()).find("quantum_forest"), std::string::npos);
-  }
+  leaf::testing::expect_snapshot_error([&] { models::load_regressor(in); },
+                                       "quantum_forest");
 }
 
 TEST(ModelIo, CorruptTreePayloadThrowsNoUb) {

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 #include "serve/runtime.hpp"
+#include "snapshot_fault_helpers.hpp"
 
 namespace leaf::serve {
 namespace {
@@ -157,17 +158,20 @@ TEST_F(ServeFixture, RestoreRejectsMismatchedFleet) {
 
   // Different shard count.
   FleetRuntime fewer(ds, scale, {small_fleet()[0]});
-  EXPECT_THROW(fewer.restore(dir), io::SnapshotError);
+  leaf::testing::expect_snapshot_error([&] { fewer.restore(dir); },
+                                       "shard count mismatch");
 
   // Different fleet seed → different derived shard seeds.
   FleetRuntime reseeded(ds, scale, small_fleet(), 777);
-  EXPECT_THROW(reseeded.restore(dir), io::SnapshotError);
+  leaf::testing::expect_snapshot_error([&] { reseeded.restore(dir); },
+                                       "fleet seed mismatch");
 
   // Different shard configuration.
   std::vector<ShardSpec> swapped = small_fleet();
   swapped[0].scheme = "Static";
   FleetRuntime other(ds, scale, swapped);
-  EXPECT_THROW(other.restore(dir), io::SnapshotError);
+  leaf::testing::expect_snapshot_error([&] { other.restore(dir); },
+                                       "configuration mismatch");
 
   // A failed restore must not have corrupted the target runtime: it can
   // still run to completion and match a clean run.
