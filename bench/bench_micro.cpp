@@ -7,10 +7,21 @@
 // sweep (threads ∈ {1,2,4,8} × {forest fit, GBDT fit, permutation
 // importance, full run_scheme}) and writes the measured wall times and
 // speedups to $LEAF_BENCH_OUT/BENCH_parallel.json.
+//
+// With --kernels the gbench suite and the thread sweep are skipped and a
+// leaf::simd micro-suite runs instead: each kernel is timed through its
+// scalar reference and its vectorized implementation, the two results are
+// asserted bit-identical, and per-kernel ns/op + speedup + a result
+// fingerprint go to $LEAF_BENCH_OUT/BENCH_kernels.json.  CI diffs that
+// fingerprint between -DLEAF_SIMD=ON and OFF builds.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <functional>
+#include <limits>
+#include <numeric>
 #include <string_view>
 #include <thread>
 
@@ -30,6 +41,8 @@
 #include "models/factory.hpp"
 #include "models/forest.hpp"
 #include "par/pool.hpp"
+#include "simd/kernels.hpp"
+#include "simd/simd.hpp"
 
 using namespace leaf;
 
@@ -270,21 +283,275 @@ void run_thread_sweep(bool smoke) {
   std::printf("wrote %s/BENCH_parallel.json\n", bench::out_dir().c_str());
 }
 
+// --- leaf::simd kernel micro-suite (--kernels) ----------------------------
+
+/// FNV-1a over raw bytes; chained across kernels for the suite fingerprint.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t h = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+volatile double g_kernel_sink = 0.0;
+
+struct KernelRow {
+  const char* name;
+  std::size_t n;          // elements processed per call
+  double scalar_ns_op;
+  double vector_ns_op;
+  bool bit_identical;
+  std::uint64_t fingerprint;  // over the (shared) result bits
+};
+
+/// Times one (scalar, vector) kernel pair: `iters` calls per timed rep,
+/// best of `reps`, normalized to ns per element.
+double time_kernel_ns_op(const char* site, const std::function<void()>& call,
+                         std::size_t iters, std::size_t n, int reps) {
+  const double ms = bench::time_best_ms(
+      site,
+      [&] {
+        for (std::size_t it = 0; it < iters; ++it) call();
+      },
+      reps);
+  return ms * 1e6 / (static_cast<double>(iters) * static_cast<double>(n));
+}
+
+void run_kernel_suite(bool smoke) {
+  const int reps = smoke ? 2 : 7;
+  // Odd sizes on purpose: every kernel call exercises the tail path.
+  const std::size_t n = smoke ? 4101 : 16381;
+  const std::size_t iters = smoke ? 40 : 250;
+
+  Rng rng(123);
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  // nrmse inputs: like a/b but with non-finite entries the kernel must
+  // mask out identically on both paths.
+  std::vector<double> pred = a, truth = b;
+  pred[n / 3] = std::numeric_limits<double>::quiet_NaN();
+  truth[n / 2] = std::numeric_limits<double>::infinity();
+  pred[n - 1] = -std::numeric_limits<double>::infinity();
+
+  // Column-major training block for the distance kernel.
+  const std::size_t drows = smoke ? 2051 : 8195;
+  const std::size_t dcols = 48;
+  std::vector<double> colsm(drows * dcols);
+  for (auto& v : colsm) v = rng.normal();
+  std::vector<double> z(dcols);
+  for (auto& v : z) v = rng.normal();
+  std::vector<double> dist_s(drows), dist_v(drows);
+
+  // Histogram inputs: identity gather over n rows, 32 bins.
+  const int nbins = 32;
+  std::vector<std::uint8_t> codes(n);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.index(nbins));
+  std::vector<std::size_t> rows_idx(n);
+  std::iota(rows_idx.begin(), rows_idx.end(), std::size_t{0});
+  std::vector<double> hw_s(nbins), hwy_s(nbins), hw_v(nbins), hwy_v(nbins);
+
+  std::vector<double> y_s = b, y_v = b;
+
+  std::vector<KernelRow> table;
+
+  const auto bits_eq = [](const void* x, const void* y, std::size_t bytes) {
+    return std::memcmp(x, y, bytes) == 0;
+  };
+
+  {  // dot (also covers sum/gemv row-dot shape)
+    const double ds = simd::scalar::dot(a.data(), b.data(), n);
+    const double dv = simd::vector::dot(a.data(), b.data(), n);
+    KernelRow row{"dot", n, 0.0, 0.0, bits_eq(&ds, &dv, sizeof ds),
+                  fnv1a(&dv, sizeof dv)};
+    row.scalar_ns_op = time_kernel_ns_op(
+        "kernel.dot.scalar",
+        [&] { g_kernel_sink = simd::scalar::dot(a.data(), b.data(), n); },
+        iters, n, reps);
+    row.vector_ns_op = time_kernel_ns_op(
+        "kernel.dot.vector",
+        [&] { g_kernel_sink = simd::vector::dot(a.data(), b.data(), n); },
+        iters, n, reps);
+    table.push_back(row);
+  }
+  {  // axpy
+    simd::scalar::axpy(0.37, a.data(), y_s.data(), n);
+    simd::vector::axpy(0.37, a.data(), y_v.data(), n);
+    KernelRow row{"axpy", n, 0.0, 0.0,
+                  bits_eq(y_s.data(), y_v.data(), n * sizeof(double)),
+                  fnv1a(y_v.data(), n * sizeof(double))};
+    row.scalar_ns_op = time_kernel_ns_op(
+        "kernel.axpy.scalar",
+        [&] { simd::scalar::axpy(1e-9, a.data(), y_s.data(), n); }, iters, n,
+        reps);
+    row.vector_ns_op = time_kernel_ns_op(
+        "kernel.axpy.vector",
+        [&] { simd::vector::axpy(1e-9, a.data(), y_v.data(), n); }, iters, n,
+        reps);
+    table.push_back(row);
+  }
+  {  // nrmse core: finite-masked squared-error reduction
+    const simd::ErrorAcc es = simd::scalar::squared_error(pred.data(),
+                                                          truth.data(), n);
+    const simd::ErrorAcc ev = simd::vector::squared_error(pred.data(),
+                                                          truth.data(), n);
+    const bool same = bits_eq(&es.sum_sq, &ev.sum_sq, sizeof es.sum_sq) &&
+                      es.finite == ev.finite;
+    std::uint64_t fp = fnv1a(&ev.sum_sq, sizeof ev.sum_sq);
+    fp = fnv1a(&ev.finite, sizeof ev.finite, fp);
+    KernelRow row{"nrmse", n, 0.0, 0.0, same, fp};
+    row.scalar_ns_op = time_kernel_ns_op(
+        "kernel.nrmse.scalar",
+        [&] {
+          g_kernel_sink =
+              simd::scalar::squared_error(pred.data(), truth.data(), n).sum_sq;
+        },
+        iters, n, reps);
+    row.vector_ns_op = time_kernel_ns_op(
+        "kernel.nrmse.vector",
+        [&] {
+          g_kernel_sink =
+              simd::vector::squared_error(pred.data(), truth.data(), n).sum_sq;
+        },
+        iters, n, reps);
+    table.push_back(row);
+  }
+  {  // l2_distance: the KNN block kernel (8 distances in flight)
+    simd::scalar::l2_distances_cols(colsm.data(), drows, z.data(), dcols,
+                                    dist_s.data());
+    simd::vector::l2_distances_cols(colsm.data(), drows, z.data(), dcols,
+                                    dist_v.data());
+    KernelRow row{"l2_distance", drows * dcols, 0.0, 0.0,
+                  bits_eq(dist_s.data(), dist_v.data(),
+                          drows * sizeof(double)),
+                  fnv1a(dist_v.data(), drows * sizeof(double))};
+    const std::size_t diters = smoke ? 8 : 30;
+    row.scalar_ns_op = time_kernel_ns_op(
+        "kernel.l2.scalar",
+        [&] {
+          simd::scalar::l2_distances_cols(colsm.data(), drows, z.data(), dcols,
+                                          dist_s.data());
+        },
+        diters, drows * dcols, reps);
+    row.vector_ns_op = time_kernel_ns_op(
+        "kernel.l2.vector",
+        [&] {
+          simd::vector::l2_distances_cols(colsm.data(), drows, z.data(), dcols,
+                                          dist_v.data());
+        },
+        diters, drows * dcols, reps);
+    table.push_back(row);
+  }
+  {  // histogram: scatter-bound; the vector entry forwards to scalar, so
+     // this row documents parity rather than a speedup.
+    const simd::HistBounds hs = simd::scalar::hist_accumulate(
+        codes.data(), rows_idx.data(), a.data(), b.data(), n, nbins,
+        hw_s.data(), hwy_s.data());
+    const simd::HistBounds hv = simd::vector::hist_accumulate(
+        codes.data(), rows_idx.data(), a.data(), b.data(), n, nbins,
+        hw_v.data(), hwy_v.data());
+    const bool same =
+        hs.lo_bin == hv.lo_bin && hs.hi_bin == hv.hi_bin &&
+        bits_eq(hw_s.data(), hw_v.data(), hw_s.size() * sizeof(double)) &&
+        bits_eq(hwy_s.data(), hwy_v.data(), hwy_s.size() * sizeof(double));
+    std::uint64_t fp = fnv1a(hw_v.data(), hw_v.size() * sizeof(double));
+    fp = fnv1a(hwy_v.data(), hwy_v.size() * sizeof(double), fp);
+    KernelRow row{"histogram", n, 0.0, 0.0, same, fp};
+    const std::size_t hiters = smoke ? 20 : 120;
+    row.scalar_ns_op = time_kernel_ns_op(
+        "kernel.hist.scalar",
+        [&] {
+          simd::scalar::hist_accumulate(codes.data(), rows_idx.data(),
+                                        a.data(), b.data(), n, nbins,
+                                        hw_s.data(), hwy_s.data());
+        },
+        hiters, n, reps);
+    row.vector_ns_op = time_kernel_ns_op(
+        "kernel.hist.vector",
+        [&] {
+          simd::vector::hist_accumulate(codes.data(), rows_idx.data(),
+                                        a.data(), b.data(), n, nbins,
+                                        hw_v.data(), hwy_v.data());
+        },
+        hiters, n, reps);
+    table.push_back(row);
+  }
+
+  std::printf("leaf::simd kernel suite  (isa=%s, compiled_in=%d, best-of-%d)\n",
+              simd::vector::isa(), simd::compiled_in() ? 1 : 0, reps);
+  std::printf("%-12s %10s %14s %14s %9s %5s\n", "kernel", "n", "scalar ns/op",
+              "vector ns/op", "speedup", "bits");
+  bool all_identical = true;
+  std::uint64_t suite_fp = 1469598103934665603ULL;
+  for (const auto& row : table) {
+    const double speedup =
+        row.vector_ns_op > 0.0 ? row.scalar_ns_op / row.vector_ns_op : 0.0;
+    std::printf("%-12s %10zu %14.3f %14.3f %8.2fx %5s\n", row.name, row.n,
+                row.scalar_ns_op, row.vector_ns_op, speedup,
+                row.bit_identical ? "ok" : "DIFF");
+    all_identical = all_identical && row.bit_identical;
+    suite_fp = fnv1a(&row.fingerprint, sizeof row.fingerprint, suite_fp);
+  }
+
+  std::ofstream json(bench::out_dir() + "/BENCH_kernels.json");
+  json << "{\n  \"isa\": \"" << simd::vector::isa() << "\",\n"
+       << "  \"simd_compiled\": " << (simd::compiled_in() ? "true" : "false")
+       << ",\n  \"all_bit_identical\": " << (all_identical ? "true" : "false")
+       << ",\n  \"fingerprint\": \"" << std::hex << suite_fp << std::dec
+       << "\",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& row = table[i];
+    const double speedup =
+        row.vector_ns_op > 0.0 ? row.scalar_ns_op / row.vector_ns_op : 0.0;
+    json << "    {\"name\": \"" << row.name << "\", \"n\": " << row.n
+         << ", \"scalar_ns_op\": " << row.scalar_ns_op
+         << ", \"vector_ns_op\": " << row.vector_ns_op
+         << ", \"speedup\": " << speedup << ", \"bit_identical\": "
+         << (row.bit_identical ? "true" : "false") << ", \"fingerprint\": \""
+         << std::hex << row.fingerprint << std::dec << "\"}"
+         << (i + 1 < table.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"metrics\": " << bench::metrics_json() << "\n}\n";
+  std::printf("wrote %s/BENCH_kernels.json\n", bench::out_dir().c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL: scalar and vector kernel results are not "
+                 "bit-identical\n");
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --smoke before google-benchmark sees the argv.
+  // Strip --smoke / --kernels before google-benchmark sees the argv.
   bool smoke = false;
+  bool kernels = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--smoke") {
       smoke = true;
       continue;
     }
+    if (std::string_view(argv[i]) == "--kernels") {
+      kernels = true;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
   argv[argc] = nullptr;
+
+  if (kernels) {
+    run_kernel_suite(smoke);
+    return 0;
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -109,7 +109,8 @@ int main() {
       first = false;
       json << "    {\"shards\": " << n_shards << ", \"threads\": " << threads
            << ", \"steps\": " << steps << ", \"seconds\": " << secs
-           << ", \"shard_days_per_sec\": " << rate << "}";
+           << ", \"shard_days_per_sec\": " << rate << ", \"fingerprint\": \""
+           << std::hex << fp << std::dec << "\"}";
     }
   }
   json << "\n  ],\n  \"determinism\": \"identical results at all thread "

@@ -7,17 +7,14 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "simd/simd.hpp"
 
 namespace leaf::metrics {
 
 double rmse(std::span<const double> pred, std::span<const double> truth) {
   assert(pred.size() == truth.size());
   if (pred.empty()) return 0.0;
-  double acc = 0.0;
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double d = pred[i] - truth[i];
-    acc += d * d;
-  }
+  const double acc = simd::l2_distance2(pred, truth);
   return std::sqrt(acc / static_cast<double>(pred.size()));
 }
 
@@ -27,16 +24,9 @@ double nrmse(std::span<const double> pred, std::span<const double> truth,
   if (!(norm_range > 0.0) || !std::isfinite(norm_range))
     return std::numeric_limits<double>::quiet_NaN();
   if (pred.empty()) return 0.0;
-  double acc = 0.0;
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    if (!std::isfinite(pred[i]) || !std::isfinite(truth[i])) continue;
-    const double d = pred[i] - truth[i];
-    acc += d * d;
-    ++n;
-  }
-  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
-  return std::sqrt(acc / static_cast<double>(n)) / norm_range;
+  const simd::ErrorAcc acc = simd::squared_error(pred, truth);
+  if (acc.finite == 0) return std::numeric_limits<double>::quiet_NaN();
+  return std::sqrt(acc.sum_sq / static_cast<double>(acc.finite)) / norm_range;
 }
 
 double normalized_error(double pred, double truth, double norm_range) {

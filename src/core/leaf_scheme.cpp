@@ -75,8 +75,8 @@ std::optional<data::SupervisedSet> LeafScheme::on_step(
   // profiles, so this is not used as a retrain gate.
   {
     const int rep = last_groups_.front().representative;
-    const std::vector<double> fv =
-        latest.X.col(static_cast<std::size_t>(rep));
+    const std::span<const double> fv =
+        latest.X.col_view(static_cast<std::size_t>(rep));
     const std::vector<double> edges =
         explain::lea_bin_edges(fv, cfg_.lea_bins);
     const explain::LeaResult el = explain::compute_lea(
@@ -161,8 +161,8 @@ data::SupervisedSet LeafScheme::restructure(const SchemeContext& ctx,
 
   // E_L: the model's local error distribution over quantile bins of the
   // representative feature, measured on the latest drifting samples.
-  const std::vector<double> latest_fv =
-      latest.X.col(static_cast<std::size_t>(representative));
+  const std::span<const double> latest_fv =
+      latest.X.col_view(static_cast<std::size_t>(representative));
   const std::vector<double> edges =
       explain::lea_bin_edges(latest_fv, cfg_.lea_bins);
   const explain::LeaResult el = explain::compute_lea(
@@ -184,8 +184,8 @@ data::SupervisedSet LeafScheme::restructure(const SchemeContext& ctx,
   // transient spikes can't evict the whole history.
   const double strength =
       high_dispersion ? cfg_.forget_strength_high : cfg_.forget_strength_low;
-  const std::vector<double> train_fv =
-      train.X.col(static_cast<std::size_t>(representative));
+  const std::span<const double> train_fv =
+      train.X.col_view(static_cast<std::size_t>(representative));
   std::vector<std::size_t> kept;
   kept.reserve(train.size());
   for (std::size_t i = 0; i < train.size(); ++i) {
@@ -219,8 +219,8 @@ data::SupervisedSet LeafScheme::restructure(const SchemeContext& ctx,
   const data::SupervisedSet& source =
       high_dispersion ? (pool.empty() ? latest : pool) : latest;
   if (refill > 0 && !source.empty()) {
-    const std::vector<double> source_fv =
-        source.X.col(static_cast<std::size_t>(representative));
+    const std::span<const double> source_fv =
+        source.X.col_view(static_cast<std::size_t>(representative));
     std::vector<double> weights(source.size());
     for (std::size_t i = 0; i < source.size(); ++i) {
       const std::size_t b = explain::lea_bin_of(source_fv[i], edges);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "simd/simd.hpp"
 
 namespace leaf::models {
 
@@ -26,28 +27,35 @@ void Knn::fit(const Matrix& X, std::span<const double> y,
   } else {
     w_.assign(w.begin(), w.end());
   }
+  // Materialize the column-major mirror now, while we are in sequential
+  // code: predict_one reads it from parallel per-row prediction, where a
+  // lazy rebuild would race.
+  train_.col_major();
   trained_ = true;
 }
 
 double Knn::predict_one(std::span<const double> x) const {
   assert(trained_);
-  std::vector<double> z(x.size());
+  // Per-query scratch is thread_local: predict_one runs on the leaf::par
+  // pool (one query per row), and per-call vector churn dominated small
+  // queries.
+  thread_local std::vector<double> z;
+  thread_local std::vector<double> dist2;
+  thread_local std::vector<std::pair<double, std::size_t>> d;
+  z.resize(x.size());
   scaler_.transform_row(x, z);
 
   const std::size_t n = train_.rows();
   const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(cfg_.k), n);
 
+  // All query->train distances in one kernel over the column-major mirror
+  // (built at fit/load), instead of a strided pass per training row.
+  dist2.resize(n);
+  simd::l2_distances_cols(train_.col_major(), n, z, dist2);
+
   // Partial selection of the k smallest distances.
-  std::vector<std::pair<double, std::size_t>> d(n);
-  for (std::size_t r = 0; r < n; ++r) {
-    const auto row = train_.row(r);
-    double acc = 0.0;
-    for (std::size_t c = 0; c < z.size(); ++c) {
-      const double diff = row[c] - z[c];
-      acc += diff * diff;
-    }
-    d[r] = {acc, r};
-  }
+  d.resize(n);
+  for (std::size_t r = 0; r < n; ++r) d[r] = {dist2[r], r};
   std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    d.end());
 
@@ -89,6 +97,7 @@ std::unique_ptr<Knn> Knn::load(io::Deserializer& in) {
   if (model->y_.size() != model->train_.rows() ||
       model->w_.size() != model->train_.rows())
     throw io::SnapshotError("knn training arrays have inconsistent sizes");
+  model->train_.col_major();  // predict reads the mirror from pool threads
   return model;
 }
 

@@ -6,8 +6,9 @@
 #include <numeric>
 
 #include "common/rng.hpp"
-#include "obs/metrics.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "simd/simd.hpp"
 
 namespace leaf::models {
 
@@ -51,14 +52,12 @@ double Lstm::forward(std::span<const double> z, Workspace* ws) const {
       const std::size_t idx = static_cast<std::size_t>(t * S + s);
       xt[static_cast<std::size_t>(s)] = idx < z.size() ? z[idx] : 0.0;
     }
-    // Pre-activations: Wx x_t + Wh h + b.
+    // Pre-activations: Wx x_t + Wh h + b, one dot kernel per weight row.
     for (int r = 0; r < 4 * H; ++r) {
-      double acc = b_[static_cast<std::size_t>(r)];
-      const auto wxr = wx_.row(static_cast<std::size_t>(r));
-      for (int s = 0; s < S; ++s) acc += wxr[static_cast<std::size_t>(s)] * xt[static_cast<std::size_t>(s)];
-      const auto whr = wh_.row(static_cast<std::size_t>(r));
-      for (int k = 0; k < H; ++k) acc += whr[static_cast<std::size_t>(k)] * h[static_cast<std::size_t>(k)];
-      gates[static_cast<std::size_t>(r)] = acc;
+      gates[static_cast<std::size_t>(r)] =
+          b_[static_cast<std::size_t>(r)] +
+          simd::dot(wx_.row(static_cast<std::size_t>(r)), xt) +
+          simd::dot(wh_.row(static_cast<std::size_t>(r)), h);
     }
     std::vector<double> gi(static_cast<std::size_t>(H)), gf(static_cast<std::size_t>(H)),
         gg(static_cast<std::size_t>(H)), go(static_cast<std::size_t>(H)),
@@ -86,9 +85,7 @@ double Lstm::forward(std::span<const double> z, Workspace* ws) const {
     }
   }
 
-  double out = bo_;
-  for (int k = 0; k < H; ++k) out += wo_[static_cast<std::size_t>(k)] * h[static_cast<std::size_t>(k)];
-  return out;
+  return bo_ + simd::dot(wo_, h);
 }
 
 void Lstm::fit(const Matrix& X, std::span<const double> y,
@@ -213,15 +210,15 @@ void Lstm::fit(const Matrix& X, std::span<const double> y,
             const std::size_t ri = static_cast<std::size_t>(rr);
             const double dzr = dz[ri];
             if (dzr == 0.0) continue;
-            double* gwx_row = g_wx + ri * static_cast<std::size_t>(S);
-            for (int s = 0; s < S; ++s) gwx_row[s] += dzr * xt[static_cast<std::size_t>(s)];
-            double* gwh_row = g_wh + ri * static_cast<std::size_t>(H);
-            const auto whr = wh_.row(ri);
-            for (int k = 0; k < H; ++k) {
-              if (h_prev != nullptr)
-                gwh_row[k] += dzr * (*h_prev)[static_cast<std::size_t>(k)];
-              dh[static_cast<std::size_t>(k)] += whr[static_cast<std::size_t>(k)] * dzr;
+            simd::axpy(dzr, xt,
+                       {g_wx + ri * static_cast<std::size_t>(S),
+                        static_cast<std::size_t>(S)});
+            if (h_prev != nullptr) {
+              simd::axpy(dzr, *h_prev,
+                         {g_wh + ri * static_cast<std::size_t>(H),
+                          static_cast<std::size_t>(H)});
             }
+            simd::axpy(dzr, wh_.row(ri), dh);
             g_b[ri] += dzr;
           }
         }
@@ -231,9 +228,7 @@ void Lstm::fit(const Matrix& X, std::span<const double> y,
       for (double& g : grad) g /= batch_w;
 
       // Global-norm clip.
-      double norm2 = 0.0;
-      for (double g : grad) norm2 += g * g;
-      const double norm = std::sqrt(norm2);
+      const double norm = std::sqrt(simd::dot(grad, grad));
       const double clip_scale =
           norm > cfg_.grad_clip ? cfg_.grad_clip / norm : 1.0;
 

@@ -4,29 +4,32 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "simd/simd.hpp"
 
 namespace leaf::models {
 
 bool cholesky_solve(Matrix& a, std::vector<double>& b) {
   const std::size_t n = a.rows();
   assert(a.cols() == n && b.size() == n);
-  // Decompose A = L L^T in the lower triangle.
+  // Decompose A = L L^T in the lower triangle.  The k-loops run over
+  // row prefixes (contiguous in the row-major storage), so they are dot
+  // kernels; the back substitution walks a column and stays scalar.
   for (std::size_t j = 0; j < n; ++j) {
-    double d = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    const auto rowj = a.row(j);
+    const double d = a(j, j) - simd::dot(rowj.first(j), rowj.first(j));
     if (d <= 0.0) return false;
     const double ljj = std::sqrt(d);
     a(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
-      double s = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      const auto rowi = a.row(i);
+      const double s = a(i, j) - simd::dot(rowi.first(j), rowj.first(j));
       a(i, j) = s / ljj;
     }
   }
   // Forward substitution L z = b.
   for (std::size_t i = 0; i < n; ++i) {
-    double s = b[i];
-    for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    const double s =
+        b[i] - simd::dot(a.row(i).first(i), std::span<const double>(b).first(i));
     b[i] = s / a(i, i);
   }
   // Back substitution L^T x = z.
@@ -62,15 +65,18 @@ void Ridge::fit(const Matrix& X, std::span<const double> y,
   }
   const double ybar = sw > 0.0 ? swy / sw : 0.0;
 
+  // Rank-1 accumulation per training row: b += (wi*yc) * z_i and, for the
+  // upper triangle, a.row(p)[p..] += (wi*z_ip) * z_i[p..] — both axpy
+  // kernels over contiguous row tails.
   Matrix a(k, k, 0.0);
   std::vector<double> b(k, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const double wi = w.empty() ? 1.0 : w[i];
     const auto row = Z.row(i);
     const double yc = y[i] - ybar;
+    simd::axpy(wi * yc, row, b);
     for (std::size_t p = 0; p < k; ++p) {
-      b[p] += wi * row[p] * yc;
-      for (std::size_t q = p; q < k; ++q) a(p, q) += wi * row[p] * row[q];
+      simd::axpy(wi * row[p], row.subspan(p), a.row(p).subspan(p));
     }
   }
   for (std::size_t p = 0; p < k; ++p) {
@@ -93,9 +99,7 @@ double Ridge::predict_one(std::span<const double> x) const {
   assert(trained_);
   std::vector<double> z(x.size());
   scaler_.transform_row(x, z);
-  double out = intercept_;
-  for (std::size_t c = 0; c < z.size(); ++c) out += beta_[c] * z[c];
-  return out;
+  return intercept_ + simd::dot(beta_, z);
 }
 
 std::unique_ptr<Regressor> Ridge::clone_untrained() const {

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "par/parallel.hpp"
+#include "simd/simd.hpp"
 
 namespace leaf::models {
 
@@ -31,10 +32,13 @@ BinnedData::BinnedData(const Matrix& X, int max_bins, BinEdgeCache* cache)
     cache->max_bins_ = max_bins;
   }
 
-  std::vector<double> col(rows_);
   std::vector<std::size_t> occupancy;
   for (std::size_t c = 0; c < cols_; ++c) {
-    for (std::size_t r = 0; r < rows_; ++r) col[r] = X(r, c);
+    // Contiguous column from the lazily built column-major mirror — one
+    // O(rows*cols) transpose for the whole binning instead of a strided
+    // gather per column.  BinnedData is built from sequential code (tree
+    // fits), which is where the lazy rebuild is allowed to happen.
+    const std::span<const double> col = X.col_view(c);
     double lo = col[0], hi = col[0];
     for (double v : col) {
       lo = std::min(lo, v);
@@ -118,7 +122,7 @@ BinnedData::BinnedData(const Matrix& X, int max_bins, BinEdgeCache* cache)
     if (!built) {
       // Fresh derivation: candidate edges from quantiles; deduplicate to
       // handle ties / constant columns.
-      std::vector<double> sorted = col;
+      std::vector<double> sorted(col.begin(), col.end());
       std::sort(sorted.begin(), sorted.end());
       edges.clear();
       for (int b = 1; b < max_bins; ++b) {
@@ -157,15 +161,17 @@ double BinnedData::threshold(std::size_t col, int b) const {
 
 namespace {
 
-struct BinAcc {
-  double sum_w = 0.0;
-  double sum_wy = 0.0;
-};
-
 /// Below this many node rows the per-feature split scan stays serial: the
 /// chunk dispatch would cost more than the histogram work it distributes.
 /// The cutoff only gates *whether* the pool is used, never the result.
 constexpr std::size_t kParallelNodeRows = 2048;
+
+/// SoA histogram accumulators for one candidate feature, sized on demand
+/// and filled by simd::hist_accumulate.
+struct HistScratch {
+  std::vector<double> sum_w;
+  std::vector<double> sum_wy;
+};
 
 }  // namespace
 
@@ -205,7 +211,14 @@ void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
   const std::size_t n_features = bd.cols();
   std::vector<int> feature_pool(n_features);
   std::iota(feature_pool.begin(), feature_pool.end(), 0);
-  std::vector<BinAcc> acc;
+  HistScratch acc;
+
+  // Per-node SoA gather: node_w[i] / node_wy[i] are the weight and
+  // weight*target of the i-th row of the current node range.  Gathered
+  // once per node and shared (read-only) by every candidate feature's
+  // histogram build, instead of recomputing weight_of(r) * y[r] per
+  // feature as the old loop did.
+  std::vector<double> node_w, node_wy;
 
   // Best cut of one candidate feature within one node; gain <= min_gain
   // means no usable cut.  Pure function of the node range and the
@@ -219,20 +232,17 @@ void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
                                 std::size_t begin, std::size_t end,
                                 double sum_w, double sum_wy,
                                 double parent_score,
-                                std::vector<BinAcc>& bins) -> FeatureSplit {
+                                HistScratch& bins) -> FeatureSplit {
     FeatureSplit best{cfg.min_gain, -1};
     const int nb = bd.num_bins(f);
     if (nb < 2) return best;
-    bins.assign(static_cast<std::size_t>(nb), BinAcc{});
-    int lo_bin = nb, hi_bin = -1;
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::size_t r = work[i];
-      const int b = bd.bin(r, f);
-      bins[static_cast<std::size_t>(b)].sum_w += weight_of(r);
-      bins[static_cast<std::size_t>(b)].sum_wy += weight_of(r) * y[r];
-      lo_bin = std::min(lo_bin, b);
-      hi_bin = std::max(hi_bin, b);
-    }
+    const std::size_t n = end - begin;
+    bins.sum_w.resize(static_cast<std::size_t>(nb));
+    bins.sum_wy.resize(static_cast<std::size_t>(nb));
+    const simd::HistBounds hb = simd::hist_accumulate(
+        bd.codes_col(f), work.data() + begin, node_w.data(), node_wy.data(),
+        n, nb, bins.sum_w.data(), bins.sum_wy.data());
+    const int lo_bin = hb.lo_bin, hi_bin = hb.hi_bin;
     if (lo_bin >= hi_bin) return best;  // constant within node
 
     if (cfg.random_thresholds) {
@@ -243,8 +253,8 @@ void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
                                  static_cast<std::uint64_t>(hi_bin - lo_bin));
       double lw = 0.0, lwy = 0.0;
       for (int bb = lo_bin; bb <= b; ++bb) {
-        lw += bins[static_cast<std::size_t>(bb)].sum_w;
-        lwy += bins[static_cast<std::size_t>(bb)].sum_wy;
+        lw += bins.sum_w[static_cast<std::size_t>(bb)];
+        lwy += bins.sum_wy[static_cast<std::size_t>(bb)];
       }
       const double rw = sum_w - lw, rwy = sum_wy - lwy;
       if (lw <= 0.0 || rw <= 0.0) return best;
@@ -254,8 +264,8 @@ void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
       // Exhaustive scan over cut positions.
       double lw = 0.0, lwy = 0.0;
       for (int b = lo_bin; b < hi_bin; ++b) {
-        lw += bins[static_cast<std::size_t>(b)].sum_w;
-        lwy += bins[static_cast<std::size_t>(b)].sum_wy;
+        lw += bins.sum_w[static_cast<std::size_t>(b)];
+        lwy += bins.sum_wy[static_cast<std::size_t>(b)];
         const double rw = sum_w - lw, rwy = sum_wy - lwy;
         if (lw <= 0.0 || rw <= 0.0) continue;
         const double gain = lwy * lwy / lw + rwy * rwy / rw - parent_score;
@@ -273,15 +283,23 @@ void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
     stack.pop_back();
     Node& node = nodes_[static_cast<std::size_t>(p.node)];
 
+    const std::size_t n_node = p.end - p.begin;
+    node_w.resize(n_node);
+    node_wy.resize(n_node);
+    for (std::size_t i = 0; i < n_node; ++i) {
+      const std::size_t r = work[p.begin + i];
+      node_w[i] = weight_of(r);
+      node_wy[i] = node_w[i] * y[r];
+    }
+    // Node totals stay a sequential reduction on purpose: they feed leaf
+    // values and split gains directly, and reassociating this sum (e.g.
+    // through the lane-tree simd::sum) measurably perturbs grown trees.
     double sum_w = 0.0, sum_wy = 0.0;
-    for (std::size_t i = p.begin; i < p.end; ++i) {
-      const std::size_t r = work[i];
-      sum_w += weight_of(r);
-      sum_wy += weight_of(r) * y[r];
+    for (std::size_t i = 0; i < n_node; ++i) {
+      sum_w += node_w[i];
+      sum_wy += node_wy[i];
     }
     node.value = sum_w > 0.0 ? sum_wy / sum_w : 0.0;
-
-    const std::size_t n_node = p.end - p.begin;
     if (p.depth >= cfg.max_depth ||
         n_node < 2 * static_cast<std::size_t>(cfg.min_samples_leaf) ||
         sum_w <= 0.0) {
@@ -318,7 +336,7 @@ void DecisionTree::fit(const BinnedData& bd, std::span<const double> y,
     cands.assign(nc, FeatureSplit{cfg.min_gain, -1});
     if (n_node >= kParallelNodeRows && nc >= 2) {
       par::parallel_for_chunks(nc, [&](std::size_t cb, std::size_t ce) {
-        std::vector<BinAcc> bins;  // per-chunk scratch
+        HistScratch bins;  // per-chunk scratch
         for (std::size_t fc = cb; fc < ce; ++fc) {
           cands[fc] = scan_feature(
               static_cast<std::size_t>(feature_pool[fc]),

@@ -91,6 +91,12 @@ class BinnedData {
     return codes_[col * rows_ + row];  // column-major for split scans
   }
 
+  /// Contiguous codes of one feature column (rows() entries) — the gather
+  /// source for simd::hist_accumulate.
+  const std::uint8_t* codes_col(std::size_t col) const {
+    return codes_.data() + col * rows_;
+  }
+
   /// Raw-value threshold separating bins <= b from bins > b of a column
   /// (midpoint between adjacent bin representative edges).
   double threshold(std::size_t col, int b) const;

@@ -19,6 +19,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "par/parallel.hpp"
+#include "simd/simd.hpp"
 
 namespace leaf::serve {
 
@@ -139,6 +140,10 @@ struct FleetRuntime::Shard {
   std::string last_error;
   core::RetrainBreaker breaker;
   obs::EventLog supervision;  ///< single-writer, like `events`
+  // Reusable aligned arena for the per-step prediction buffer (NOT
+  // snapshotted: scratch only, sized by the high-water test-slice size).
+  // Replaces a std::vector allocation per step per shard.
+  simd::AlignedBuffer predict_scratch;
 
   Shard(ShardSpec s, const data::Featurizer& f, double disp,
         const core::EvalConfig& c, const Scale& scale,
@@ -243,7 +248,15 @@ struct FleetRuntime::Shard {
       return;
     }
 
-    std::vector<double> pred(test.size());
+    static obs::Counter& scratch_grows_ctr =
+        obs::MetricsRegistry::global().counter(
+            "leaf_shard_scratch_grows_total");
+    static obs::Counter& scratch_reuses_ctr =
+        obs::MetricsRegistry::global().counter(
+            "leaf_shard_scratch_reuses_total");
+    const bool scratch_grew = predict_scratch.reserve(test.size());
+    (scratch_grew ? scratch_grows_ctr : scratch_reuses_ctr).inc();
+    const std::span<double> pred = predict_scratch.acquire(test.size());
     model->predict_into(test.X, pred);
     const double err = metrics::nrmse(pred, test.y, norm_range);
     if (cfg.guard_nonfinite && !std::isfinite(err)) {
