@@ -1,0 +1,371 @@
+// bench_net — loopback RPC front-end harness for the serving fleet.
+//
+// Drives leaf::net's ServerCore through deterministic loopback schedules
+// and verifies, at multiple thread counts, the properties the CI net job
+// asserts:
+//
+//   sweep        clients x batch-size throughput sweep: every request is
+//                answered, every response matches a direct
+//                fleet.predict_shard of the same rows;
+//   admission    golden shed / retry / served counts from a ManualClock
+//                schedule (queue overflow answers kRetry immediately,
+//                expired deadlines are SHED at dequeue — never dropped);
+//   chaos        seeded evil clients (net-truncate / net-garbage fault
+//                points) lose exactly their own connections while every
+//                well-behaved client's response stream stays byte-
+//                identical to a chaos-free run;
+//   determinism  one fixed schedule replayed at LEAF_THREADS=1 and 4
+//                produces byte-identical response frames and identical
+//                masked leaf_net_* telemetry.
+//
+// Any violation exits non-zero.  Emits BENCH_net.{csv,json}; the JSON
+// carries the golden counts the CI net job asserts on.  `--smoke`
+// shrinks the sweep for CI.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chaos/chaos.hpp"
+#include "common/rng.hpp"
+#include "data/generator.hpp"
+#include "net/loopback.hpp"
+#include "par/parallel.hpp"
+#include "serve/runtime.hpp"
+
+using namespace leaf;
+
+namespace {
+
+std::vector<serve::ShardSpec> make_specs(std::size_t n) {
+  std::vector<serve::ShardSpec> specs;
+  for (std::size_t i = 0; i < n; ++i)
+    specs.push_back({data::kAllTargets[i % data::kAllTargets.size()],
+                     models::ModelFamily::kRidge,
+                     i % 2 == 0 ? "Triggered" : "LEAF", 0});
+  return specs;
+}
+
+Matrix probe_rows(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (auto& v : m.flat()) v = rng.uniform();
+  return m;
+}
+
+/// FNV-1a over a batch of encoded response frames.
+std::size_t fingerprint(const std::vector<net::Frame>& frames) {
+  std::size_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const net::Frame& f : frames) {
+    mix(static_cast<std::uint64_t>(f.type));
+    mix(f.request_id);
+    for (std::uint8_t b : f.payload) mix(b);
+  }
+  return h;
+}
+
+/// The non-wall-clock leaf_net_* scrape lines (the determinism contract).
+std::string masked_net_scrape() {
+  std::istringstream in(obs::MetricsRegistry::global().scrape());
+  std::string line, out;
+  while (std::getline(in, line))
+    if (line.find("leaf_net_") != std::string::npos &&
+        line.find("_seconds") == std::string::npos)
+      out += line + "\n";
+  return out;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "FATAL: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  Scale scale = Scale::from_env();
+  scale.fixed_enbs = std::min(scale.fixed_enbs, 8);
+  scale.num_kpis = std::min(scale.num_kpis, 24);
+  scale.eval_stride_days = std::max(scale.eval_stride_days, 6);
+  bench::banner("net", "leaf::net loopback RPC front-end harness", scale);
+
+  const data::CellularDataset ds = data::generate_fixed_dataset(scale, 42);
+  serve::FleetRuntime fleet(ds, scale, make_specs(4));
+  fleet.run_steps(1);  // initial fits: every shard serve-ready
+  const std::size_t num_shards = fleet.num_shards();
+
+  CsvWriter csv = bench::csv("BENCH_net.csv");
+  csv.row({"scenario", "threads", "clients", "batch_rows", "requests",
+           "seconds", "served", "shed", "retries", "dropped_conns"});
+
+  // ---- sweep: clients x batch size ---------------------------------------
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{4} : std::vector<int>{1, 4, 16};
+  const std::vector<int> batch_sizes =
+      smoke ? std::vector<int>{1, 8} : std::vector<int>{1, 8, 32};
+  const int sweep_rounds = smoke ? 8 : 32;
+
+  std::printf("%-12s %8s %8s %10s %10s %12s\n", "scenario", "clients",
+              "batch", "requests", "seconds", "req/s");
+  for (int clients : client_counts) {
+    for (int batch : batch_sizes) {
+      net::NetConfig cfg;
+      cfg.max_batch_rows = std::max(64, batch);
+      net::Loopback loop(fleet, cfg);
+      std::vector<net::LoopbackConnection*> conns;
+      for (int c = 0; c < clients; ++c) conns.push_back(&loop.connect());
+
+      std::uint64_t id = 1;
+      std::size_t answered = 0;
+      const obs::Stopwatch sw;
+      for (int round = 0; round < sweep_rounds; ++round) {
+        for (int c = 0; c < clients; ++c) {
+          const std::uint32_t shard =
+              static_cast<std::uint32_t>((round + c) % num_shards);
+          const int cols = fleet.shard_num_features(shard);
+          conns[c]->send(net::make_frame(
+              batch == 1 ? net::MsgType::kPredict
+                         : net::MsgType::kBatchPredict,
+              id, net::PredictRequest{shard, 0, probe_rows(batch, cols, id)}));
+          ++id;
+        }
+        // A pump coalesces at most one batch per shard; drain fully so a
+        // deep round (many clients on one shard) is all answered.
+        do {
+          answered += loop.pump();
+        } while (loop.core().queued() > 0);
+      }
+      const double seconds = sw.seconds();
+      const std::size_t requests =
+          static_cast<std::size_t>(sweep_rounds) * clients;
+      if (answered != requests) return fail("sweep: lost responses");
+      // Every response decodes and matches a direct model pass.
+      for (int c = 0; c < clients; ++c) {
+        std::size_t got = 0;
+        while (auto f = conns[c]->receive()) {
+          if (f->type != net::MsgType::kPredictOk)
+            return fail("sweep: non-OK response");
+          const auto body = net::decode_body<net::PredictResponse>(*f);
+          const std::uint32_t shard = static_cast<std::uint32_t>(
+              (got + static_cast<std::size_t>(c)) % num_shards);
+          const Matrix rows = probe_rows(
+              batch, fleet.shard_num_features(shard), f->request_id);
+          std::vector<double> want(rows.rows());
+          fleet.predict_shard(shard, rows, want);
+          if (body.values != want) return fail("sweep: response mismatch");
+          ++got;
+        }
+        if (got != static_cast<std::size_t>(sweep_rounds))
+          return fail("sweep: client short-changed");
+      }
+      std::printf("%-12s %8d %8d %10zu %10.4f %12.0f\n", "sweep", clients,
+                  batch, requests, seconds,
+                  seconds > 0 ? requests / seconds : 0.0);
+      csv.row({"sweep", "0", std::to_string(clients), std::to_string(batch),
+               std::to_string(requests), fmt(seconds), std::to_string(answered),
+               "0", "0", "0"});
+    }
+  }
+
+  // ---- admission: golden shed / retry counts ------------------------------
+  std::uint64_t golden_served = 0, golden_shed = 0, golden_retries = 0;
+  {
+    obs::MetricsRegistry::global().reset_values();
+    net::NetConfig cfg;
+    cfg.queue_depth = 4;
+    cfg.max_batch_rows = 8;
+    net::Loopback loop(fleet, cfg);
+    net::LoopbackConnection& conn = loop.connect();
+    const int cols = fleet.shard_num_features(0);
+
+    // 6 instant requests against depth 4: the last two answer kRetry.
+    for (std::uint64_t id = 1; id <= 6; ++id)
+      conn.send(net::make_frame(net::MsgType::kPredict, id,
+                                net::PredictRequest{0, 0,
+                                                    probe_rows(1, cols, id)}));
+    loop.pump();
+    // 4 requests with a 10 ms budget that expires while queued: all SHED.
+    for (std::uint64_t id = 10; id <= 13; ++id)
+      conn.send(net::make_frame(net::MsgType::kPredict, id,
+                                net::PredictRequest{0, 10,
+                                                    probe_rows(1, cols, id)}));
+    loop.clock().advance_ms(50);
+    loop.pump();
+
+    std::size_t ok = 0, shed = 0, retry = 0;
+    while (auto f = conn.receive()) {
+      if (f->type == net::MsgType::kPredictOk) ++ok;
+      else if (net::decode_body<net::ErrorResponse>(*f).code ==
+               net::ErrorCode::kShed) ++shed;
+      else ++retry;
+    }
+    if (ok != 4 || shed != 4 || retry != 2)
+      return fail("admission: golden shed/retry/served counts violated");
+    if (obs::kCompiledIn &&
+        (counter_value("leaf_net_sheds_total") != shed ||
+         counter_value("leaf_net_retries_total") != retry))
+      return fail("admission: telemetry disagrees with responses");
+    golden_served = ok;
+    golden_shed = shed;
+    golden_retries = retry;
+    std::printf("%-12s served=%zu shed=%zu retry=%zu\n", "admission", ok,
+                shed, retry);
+    csv.row({"admission", "1", "1", "1", "10", "0", std::to_string(ok),
+             std::to_string(shed), std::to_string(retry), "0"});
+  }
+
+  // ---- chaos: seeded evil clients -----------------------------------------
+  // Fault decisions are a pure function of (seed, conn index, request
+  // seq), so the dropped-connection count and every survivor's response
+  // stream are golden across runs and thread counts.
+  std::size_t chaos_dropped = 0;
+  std::size_t chaos_survivor_responses = 0;
+  {
+    const chaos::ChaosConfig chaos_cfg =
+        chaos::ChaosConfig::parse("seed=11,net-truncate=0.05,net-garbage=0.05");
+    const chaos::Engine engine(chaos_cfg);
+    const int evil_clients = 8;
+    const int evil_rounds = smoke ? 6 : 8;
+
+    std::size_t reference_fp = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      par::set_threads(pass == 0 ? 1 : 4);
+      net::Loopback loop(fleet);
+      std::vector<net::LoopbackConnection*> conns;
+      for (int c = 0; c < evil_clients; ++c) conns.push_back(&loop.connect());
+
+      for (int seq = 0; seq < evil_rounds; ++seq) {
+        for (int c = 0; c < evil_clients; ++c) {
+          if (!conns[c]->alive()) continue;
+          const int cols = fleet.shard_num_features(0);
+          const std::uint64_t id =
+              static_cast<std::uint64_t>(seq) * evil_clients + c + 1;
+          const std::vector<std::uint8_t> bytes = net::encode_frame(
+              net::make_frame(net::MsgType::kPredict, id,
+                              net::PredictRequest{0, 0,
+                                                  probe_rows(1, cols, id)}));
+          const auto cid = static_cast<std::uint64_t>(c);
+          const auto s = static_cast<std::uint64_t>(seq);
+          if (engine.net_truncate(cid, s)) {
+            // Disconnect mid-frame: half the bytes, then gone.
+            conns[c]->send_bytes(
+                std::span<const std::uint8_t>(bytes.data(), bytes.size() / 2));
+            conns[c]->close();
+          } else if (engine.net_garbage(cid, s)) {
+            std::vector<std::uint8_t> bad = bytes;
+            bad[net::kHeaderBytes + bad.size() % 7] ^= 0x10;  // CRC catches
+            conns[c]->send_bytes(bad);
+          } else {
+            conns[c]->send_bytes(bytes);
+          }
+        }
+        loop.pump();
+      }
+
+      std::size_t dropped = 0, responses = 0;
+      std::vector<net::Frame> survivor_frames;
+      for (int c = 0; c < evil_clients; ++c) {
+        if (!conns[c]->alive()) {
+          ++dropped;
+          continue;
+        }
+        while (auto f = conns[c]->receive()) {
+          survivor_frames.push_back(std::move(*f));
+          ++responses;
+        }
+      }
+      // The harness must have exercised both outcomes, and the fleet must
+      // still be serving.
+      if (dropped == 0 || dropped == evil_clients)
+        return fail("chaos: fault schedule degenerate (tune probabilities)");
+      net::LoopbackConnection& fresh = loop.connect();
+      fresh.send(net::Frame{net::MsgType::kFleetStatus, 1, {}});
+      if (!fresh.receive().has_value())
+        return fail("chaos: server dead after evil clients");
+
+      const std::size_t fp = fingerprint(survivor_frames);
+      if (pass == 0) {
+        reference_fp = fp;
+        chaos_dropped = dropped;
+        chaos_survivor_responses = responses;
+      } else if (fp != reference_fp || dropped != chaos_dropped ||
+                 responses != chaos_survivor_responses) {
+        return fail("chaos: survivor streams differ across thread counts");
+      }
+      std::printf("%-12s threads=%d dropped=%zu survivor_responses=%zu\n",
+                  "chaos", pass == 0 ? 1 : 4, dropped, responses);
+      csv.row({"chaos", pass == 0 ? "1" : "4",
+               std::to_string(evil_clients), "1",
+               std::to_string(evil_clients * evil_rounds), "0",
+               std::to_string(responses), "0", "0",
+               std::to_string(dropped)});
+    }
+  }
+
+  // ---- determinism: fixed schedule at threads 1 vs 4 ----------------------
+  bool determinism_ok = true;
+  {
+    const auto run = [&](int threads) {
+      par::set_threads(threads);
+      obs::MetricsRegistry::global().reset_values();
+      net::Loopback loop(fleet);
+      std::vector<net::LoopbackConnection*> conns;
+      for (int c = 0; c < 3; ++c) conns.push_back(&loop.connect());
+      std::uint64_t id = 1;
+      for (int round = 0; round < (smoke ? 6 : 16); ++round) {
+        for (int c = 0; c < 3; ++c) {
+          const std::uint32_t shard =
+              static_cast<std::uint32_t>((round + c) % num_shards);
+          const std::size_t rows = 1 + (round + c) % 4;
+          const int cols = fleet.shard_num_features(shard);
+          conns[c]->send(net::make_frame(
+              rows == 1 ? net::MsgType::kPredict : net::MsgType::kBatchPredict,
+              id, net::PredictRequest{shard, 0, probe_rows(rows, cols, id)}));
+          ++id;
+        }
+        if (round % 2 == 1) loop.pump();
+      }
+      while (loop.core().queued() > 0) loop.pump();
+      std::vector<net::Frame> all;
+      for (auto* c : conns)
+        while (auto f = c->receive()) all.push_back(std::move(*f));
+      return std::make_pair(fingerprint(all), masked_net_scrape());
+    };
+    const auto [fp1, scrape1] = run(1);
+    const auto [fp4, scrape4] = run(4);
+    determinism_ok = fp1 == fp4 && scrape1 == scrape4;
+    if (!determinism_ok)
+      return fail("determinism: responses or telemetry differ across threads");
+    std::printf("%-12s threads 1 vs 4: identical\n", "determinism");
+    csv.row({"determinism", "1+4", "3", "0", "0", "0", "0", "0", "0", "0"});
+  }
+
+  std::ofstream json(bench::out_dir() + "/BENCH_net.json");
+  json << "{\n"
+       << "  \"admission\": {\"served\": " << golden_served
+       << ", \"shed\": " << golden_shed
+       << ", \"retries\": " << golden_retries << "},\n"
+       << "  \"chaos\": {\"dropped_conns\": " << chaos_dropped
+       << ", \"survivor_responses\": " << chaos_survivor_responses
+       << ", \"fleet_survived\": true},\n"
+       << "  \"determinism\": {\"identical\": "
+       << (determinism_ok ? "true" : "false") << "},\n"
+       << "  \"metrics\": " << bench::metrics_json() << "\n}\n";
+  par::set_threads(0);
+  bench::require_ok(csv);
+  std::printf("\nwrote %s/BENCH_net.json\n", bench::out_dir().c_str());
+  return 0;
+}

@@ -22,6 +22,21 @@
 //                 [--snapshot-keep K] [--max-shard-retries N]
 //                 [--breaker-max-retrains N] [--breaker-window DAYS]
 //                 [--breaker-cooldown DAYS] [--chaos SPEC]
+//                 [--listen HOST:PORT] [--serve-requests N]
+//                 [--net-queue-depth N] [--net-max-batch N]
+//                 [--net-deadline-ms N]
+//
+// `--listen` additionally runs the leaf::net RPC front end on the same
+// thread as the fleet: the socket event loop is polled between fleet
+// steps, and once the fleet completes the process keeps serving queries
+// against the finished models (forever, or until `--serve-requests N`
+// responses have been sent — the CI smoke's termination condition).
+//
+// Query mode is the matching client:
+//
+//   leafctl query --connect HOST:PORT [--status] [--metrics [--json]]
+//                 [--predict --shard N [--rows K] [--deadline-ms N]
+//                  [--seed N]]
 //
 // `--resume` with an empty or missing snapshot directory starts fresh
 // with a warning; genuinely malformed on-disk state exits with code 2.
@@ -29,21 +44,27 @@
 // fault-injection schedule of leaf::chaos; see chaos/chaos.hpp for the
 // spec grammar.
 //
-// Unknown flags are rejected with usage() and exit code 2 in both modes.
+// Unknown flags are rejected with usage() and exit code 2 in all modes.
 // The LEAF_SCALE environment variable controls dataset size as usual.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "chaos/chaos.hpp"
 #include "common/calendar.hpp"
 #include "common/csv.hpp"
+#include "common/rng.hpp"
 #include "core/experiment.hpp"
 #include "data/generator.hpp"
 #include "models/factory.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/tcp.hpp"
 #include "obs/events.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -68,12 +89,18 @@ void usage(const char* argv0) {
                "[--breaker-max-retrains N] [--breaker-window DAYS] "
                "[--breaker-cooldown DAYS] [--chaos SPEC] "
                "[--metrics-out FILE] [--events-out FILE] "
-               "[--summary-every N]\n"
+               "[--summary-every N] [--listen HOST:PORT] "
+               "[--serve-requests N] [--net-queue-depth N] "
+               "[--net-max-batch N] [--net-deadline-ms N]\n"
+               "       %s query --connect HOST:PORT [--status] "
+               "[--metrics [--json]] [--predict --shard N [--rows K] "
+               "[--deadline-ms N] [--seed N]]\n"
                "flags: --metrics-out writes a Prometheus text scrape "
                "(.json suffix: JSON); --events-out writes the drift-event "
-               "JSONL; LEAF_LOG_LEVEL=error|warn|info|debug controls stderr "
+               "JSONL; --listen serves the leaf::net RPC protocol; "
+               "LEAF_LOG_LEVEL=error|warn|info|debug controls stderr "
                "verbosity\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
 }
 
 /// Writes `content` to `path`; false (with an error log) on failure.
@@ -117,95 +144,187 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-int run_serve(int argc, char** argv) {
+// --- shared flag parsing ---------------------------------------------------
+//
+// One option table serves every mode: a FlagSpec binds a flag name to the
+// variable it fills, so the per-mode "parse loop" is just the table.
+// Value-taking flags with a missing value and unknown flags keep the
+// historical strict behavior: usage() and exit code 2.
+
+enum class FlagKind { kString, kInt, kU64, kU32, kBool };
+
+struct FlagSpec {
+  const char* name;
+  FlagKind kind;
+  void* target;
+};
+
+/// Tries argv[i] against the table; consumes the flag's value (advancing
+/// i) on a match.  Exits 2 when a value-taking flag ends the argv.
+bool parse_flag(const std::vector<FlagSpec>& flags, int argc, char** argv,
+                int& i) {
+  const std::string arg = argv[i];
+  for (const FlagSpec& f : flags) {
+    if (arg != f.name) continue;
+    if (f.kind == FlagKind::kBool) {
+      *static_cast<bool*>(f.target) = true;
+      return true;
+    }
+    if (i + 1 >= argc) {
+      usage(argv[0]);
+      std::exit(2);
+    }
+    const char* value = argv[++i];
+    switch (f.kind) {
+      case FlagKind::kString:
+        *static_cast<std::string*>(f.target) = value;
+        break;
+      case FlagKind::kInt:
+        *static_cast<int*>(f.target) = std::atoi(value);
+        break;
+      case FlagKind::kU64:
+        *static_cast<std::uint64_t*>(f.target) =
+            std::strtoull(value, nullptr, 10);
+        break;
+      case FlagKind::kU32:
+        *static_cast<std::uint32_t*>(f.target) = static_cast<std::uint32_t>(
+            std::strtoul(value, nullptr, 10));
+        break;
+      case FlagKind::kBool:
+        break;  // handled above
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Runs the table over argv[start..].  Returns -1 when parsing completed
+/// and the caller should proceed; otherwise the exit code to return
+/// (--help => 0, unknown flag => 2).  `special` lets a mode intercept
+/// flags with immediate behavior (--list): it returns an exit code, or
+/// -1 to fall through to the table.
+int parse_args(int argc, char** argv, int start,
+               const std::vector<FlagSpec>& flags,
+               const std::function<int(const std::string&)>& special = {}) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (special) {
+      const int rc = special(arg);
+      if (rc >= 0) return rc;
+    }
+    if (parse_flag(flags, argc, argv, i)) continue;
+    std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+    usage(argv[0]);
+    return 2;
+  }
+  return -1;
+}
+
+/// Options both evaluation modes share, with their table rows.
+struct CommonOpts {
   std::string dataset = "fixed";
-  std::string kpis = "DVol";
-  std::string model_name = "GBDT";
-  std::string scheme_spec = "LEAF";
+  std::string model = "GBDT";
+  std::string scheme = "LEAF";
   std::string snapshot_dir;
   std::string metrics_out;
   std::string events_out;
   std::uint64_t seed = 2024;
-  int shards = 0;  // 0 = one per KPI
   int threads = -1;
+};
+
+std::vector<FlagSpec> common_flag_table(CommonOpts& o) {
+  return {
+      {"--dataset", FlagKind::kString, &o.dataset},
+      {"--model", FlagKind::kString, &o.model},
+      {"--scheme", FlagKind::kString, &o.scheme},
+      {"--seed", FlagKind::kU64, &o.seed},
+      {"--threads", FlagKind::kInt, &o.threads},
+      {"--snapshot-dir", FlagKind::kString, &o.snapshot_dir},
+      {"--metrics-out", FlagKind::kString, &o.metrics_out},
+      {"--events-out", FlagKind::kString, &o.events_out},
+  };
+}
+
+/// Shared post-parse validation: thread override, model family, dataset
+/// name.  Returns -1 to proceed, else the exit code.
+int validate_common(const CommonOpts& o, models::ModelFamily& family) {
+  if (o.threads >= 0) par::set_threads(o.threads);
+  if (!models::parse_model_family(o.model, family)) {
+    std::fprintf(stderr, "unknown model '%s' (--list to enumerate)\n",
+                 o.model.c_str());
+    return 2;
+  }
+  if (o.dataset != "fixed" && o.dataset != "evolving") {
+    std::fprintf(stderr, "unknown dataset '%s'\n", o.dataset.c_str());
+    return 2;
+  }
+  return -1;
+}
+
+/// Writes the scrape selected by the path's suffix (net::scrape_output
+/// is the one shared selection used by both CLI modes and the RPC scrape
+/// path).  Returns false on write failure.
+bool write_metrics(const std::string& path, const serve::FleetRuntime* fleet) {
+  if (!write_text_file(path, net::scrape_output(fleet, wants_json(path))))
+    return false;
+  LEAF_LOG_INFO("metrics written to %s", path.c_str());
+  return true;
+}
+
+// --- serve mode ------------------------------------------------------------
+
+int run_serve(int argc, char** argv) {
+  CommonOpts common;
+  std::string kpis = "DVol";
+  std::string chaos_spec;
+  std::string listen_addr;
+  int shards = 0;  // 0 = one per KPI
   int snapshot_every = 0;
   int summary_every = 20;
+  int serve_requests = 0;  // 0 = serve until killed
   bool resume = false;
   serve::SupervisorConfig supervisor;
-  std::string chaos_spec;
+  net::NetConfig net_cfg;
+  std::uint32_t net_deadline_ms = 0;
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--dataset") {
-      dataset = next();
-    } else if (arg == "--kpis") {
-      kpis = next();
-    } else if (arg == "--model") {
-      model_name = next();
-    } else if (arg == "--scheme") {
-      scheme_spec = next();
-    } else if (arg == "--shards") {
-      shards = std::atoi(next());
-    } else if (arg == "--seed") {
-      seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--threads") {
-      threads = std::atoi(next());
-    } else if (arg == "--snapshot-every") {
-      snapshot_every = std::atoi(next());
-    } else if (arg == "--snapshot-dir") {
-      snapshot_dir = next();
-    } else if (arg == "--resume") {
-      resume = true;
-    } else if (arg == "--snapshot-keep") {
-      supervisor.snapshot_keep = std::atoi(next());
-    } else if (arg == "--max-shard-retries") {
-      supervisor.recovery.max_retries = std::atoi(next());
-    } else if (arg == "--breaker-max-retrains") {
-      supervisor.breaker.max_retrains = std::atoi(next());
-    } else if (arg == "--breaker-window") {
-      supervisor.breaker.window_days = std::atoi(next());
-    } else if (arg == "--breaker-cooldown") {
-      supervisor.breaker.cooldown_days = std::atoi(next());
-    } else if (arg == "--chaos") {
-      chaos_spec = next();
-    } else if (arg == "--metrics-out") {
-      metrics_out = next();
-    } else if (arg == "--events-out") {
-      events_out = next();
-    } else if (arg == "--summary-every") {
-      summary_every = std::atoi(next());
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
-      usage(argv[0]);
-      return 2;
-    }
-  }
+  std::vector<FlagSpec> flags = common_flag_table(common);
+  const std::vector<FlagSpec> serve_flags = {
+      {"--kpis", FlagKind::kString, &kpis},
+      {"--shards", FlagKind::kInt, &shards},
+      {"--snapshot-every", FlagKind::kInt, &snapshot_every},
+      {"--resume", FlagKind::kBool, &resume},
+      {"--snapshot-keep", FlagKind::kInt, &supervisor.snapshot_keep},
+      {"--max-shard-retries", FlagKind::kInt,
+       &supervisor.recovery.max_retries},
+      {"--breaker-max-retrains", FlagKind::kInt,
+       &supervisor.breaker.max_retrains},
+      {"--breaker-window", FlagKind::kInt, &supervisor.breaker.window_days},
+      {"--breaker-cooldown", FlagKind::kInt,
+       &supervisor.breaker.cooldown_days},
+      {"--chaos", FlagKind::kString, &chaos_spec},
+      {"--summary-every", FlagKind::kInt, &summary_every},
+      {"--listen", FlagKind::kString, &listen_addr},
+      {"--serve-requests", FlagKind::kInt, &serve_requests},
+      {"--net-queue-depth", FlagKind::kInt, &net_cfg.queue_depth},
+      {"--net-max-batch", FlagKind::kInt, &net_cfg.max_batch_rows},
+      {"--net-deadline-ms", FlagKind::kU32, &net_deadline_ms},
+  };
+  flags.insert(flags.end(), serve_flags.begin(), serve_flags.end());
 
-  if (threads >= 0) par::set_threads(threads);
-  if ((snapshot_every > 0 || resume) && snapshot_dir.empty()) {
-    std::fprintf(stderr,
-                 "--snapshot-every / --resume require --snapshot-dir\n");
-    return 2;
-  }
+  const int parse_rc = parse_args(argc, argv, 2, flags);
+  if (parse_rc >= 0) return parse_rc;
 
   models::ModelFamily family;
-  if (!models::parse_model_family(model_name, family)) {
-    std::fprintf(stderr, "unknown model '%s' (--list to enumerate)\n",
-                 model_name.c_str());
-    return 2;
-  }
-  if (dataset != "fixed" && dataset != "evolving") {
-    std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+  const int common_rc = validate_common(common, family);
+  if (common_rc >= 0) return common_rc;
+
+  if ((snapshot_every > 0 || resume) && common.snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "--snapshot-every / --resume require --snapshot-dir\n");
     return 2;
   }
 
@@ -230,8 +349,9 @@ int run_serve(int argc, char** argv) {
 
   // --chaos takes precedence over the LEAF_CHAOS environment variable.
   try {
-    supervisor.chaos = chaos_spec.empty() ? chaos::ChaosConfig::from_env()
-                                          : chaos::ChaosConfig::parse(chaos_spec);
+    supervisor.chaos = chaos_spec.empty()
+                           ? chaos::ChaosConfig::from_env()
+                           : chaos::ChaosConfig::parse(chaos_spec);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -243,11 +363,12 @@ int run_serve(int argc, char** argv) {
                  "--breaker-max-retrains >= 0\n");
     return 2;
   }
+  net_cfg.default_deadline_ms = net_deadline_ms;
 
   const Scale scale = Scale::from_env();
-  const data::CellularDataset ds = dataset == "fixed"
-                                       ? data::generate_fixed_dataset(scale)
-                                       : data::generate_evolving_dataset(scale);
+  const data::CellularDataset ds =
+      common.dataset == "fixed" ? data::generate_fixed_dataset(scale)
+                                : data::generate_evolving_dataset(scale);
 
   // Shard list: cycle through the KPI list until `shards` shards exist
   // (default: one per KPI).  Seeds are left at 0 so the runtime derives
@@ -257,34 +378,37 @@ int run_serve(int argc, char** argv) {
   std::vector<serve::ShardSpec> specs;
   specs.reserve(n_shards);
   for (std::size_t i = 0; i < n_shards; ++i)
-    specs.push_back({targets[i % targets.size()], family, scheme_spec, 0});
+    specs.push_back({targets[i % targets.size()], family, common.scheme, 0});
 
-  serve::FleetRuntime fleet(ds, scale, std::move(specs), seed, supervisor);
+  serve::FleetRuntime fleet(ds, scale, std::move(specs), common.seed,
+                            supervisor);
   std::printf("leafctl serve: %zu shard(s), %s / %s / %s (scale=%s, "
               "seed=%llu)\n",
-              fleet.num_shards(), dataset.c_str(), model_name.c_str(),
-              scheme_spec.c_str(), scale.name().c_str(),
-              static_cast<unsigned long long>(seed));
+              fleet.num_shards(), common.dataset.c_str(),
+              common.model.c_str(), common.scheme.c_str(),
+              scale.name().c_str(),
+              static_cast<unsigned long long>(common.seed));
   if (supervisor.chaos.any())
     LEAF_LOG_WARN("chaos enabled: %s", supervisor.chaos.to_string().c_str());
 
   if (resume) {
-    if (!serve::FleetRuntime::has_snapshot(snapshot_dir)) {
+    if (!serve::FleetRuntime::has_snapshot(common.snapshot_dir)) {
       // An empty (or not yet created) snapshot directory is the normal
       // first boot of a service configured to resume — start fresh.
       LEAF_LOG_WARN("no snapshot in %s; starting fresh",
-                    snapshot_dir.c_str());
+                    common.snapshot_dir.c_str());
     } else {
       try {
-        fleet.restore(snapshot_dir);
+        fleet.restore(common.snapshot_dir);
       } catch (const io::SnapshotError& e) {
         // There IS on-disk state but it cannot be trusted (wrong fleet,
         // unreadable everywhere): refuse to guess, distinct exit code.
-        LEAF_LOG_ERROR("resume from %s failed: %s", snapshot_dir.c_str(),
-                       e.what());
+        LEAF_LOG_ERROR("resume from %s failed: %s",
+                       common.snapshot_dir.c_str(), e.what());
         return 2;
       }
-      LEAF_LOG_INFO("resumed from %s at step %llu", snapshot_dir.c_str(),
+      LEAF_LOG_INFO("resumed from %s at step %llu",
+                    common.snapshot_dir.c_str(),
                     static_cast<unsigned long long>(fleet.steps_run()));
       if (fleet.stats().snapshot_fallbacks > 0)
         LEAF_LOG_WARN("%d shard(s) restored from an older generation",
@@ -292,9 +416,32 @@ int run_serve(int argc, char** argv) {
     }
   }
 
-  while (fleet.step()) {
+  std::unique_ptr<net::TcpServer> server;
+  if (!listen_addr.empty()) {
+    try {
+      const auto [host, port] = net::parse_host_port(listen_addr);
+      server = std::make_unique<net::TcpServer>(fleet, host, port, net_cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    // Port on stdout so scripts against an ephemeral bind can find it.
+    std::printf("leafctl serve: listening on %s (port %u)\n",
+                listen_addr.c_str(), server->port());
+    std::fflush(stdout);
+  }
+  const auto served_enough = [&]() {
+    return server != nullptr && serve_requests > 0 &&
+           server->requests_served() >=
+               static_cast<std::uint64_t>(serve_requests);
+  };
+
+  // The fleet and the RPC front end share this one thread: queries are
+  // answered between steps, so predictions never race shard mutation and
+  // crash-equivalence is preserved.
+  while (!served_enough() && fleet.step()) {
     if (snapshot_every > 0 && fleet.steps_run() % snapshot_every == 0)
-      fleet.snapshot(snapshot_dir);  // logs at INFO internally
+      fleet.snapshot(common.snapshot_dir);  // logs at INFO internally
     if (summary_every > 0 && fleet.steps_run() % summary_every == 0) {
       const serve::ServeStats s = fleet.stats();
       LEAF_LOG_INFO(
@@ -303,8 +450,17 @@ int run_serve(int argc, char** argv) {
           static_cast<unsigned long long>(s.total_steps), s.shards_done,
           s.shards.size(), s.total_drift_events, s.total_retrains);
     }
+    if (server != nullptr) server->poll_once(0);
   }
-  if (!snapshot_dir.empty()) fleet.snapshot(snapshot_dir);
+  if (!common.snapshot_dir.empty()) fleet.snapshot(common.snapshot_dir);
+
+  // Fleet finished (or the request budget ended stepping early): keep
+  // serving the frozen models until the budget is spent — or forever
+  // when no budget was set (a real server runs until killed).
+  while (server != nullptr && !served_enough()) server->poll_once(50);
+  if (server != nullptr)
+    std::printf("leafctl serve: answered %llu request(s)\n",
+                static_cast<unsigned long long>(server->requests_served()));
 
   const serve::ServeStats stats = fleet.stats();
   const std::vector<core::EvalResult> results = fleet.results();
@@ -324,21 +480,136 @@ int run_serve(int argc, char** argv) {
                 "trip(s), %d suppressed retrain(s)\n",
                 stats.total_faults, stats.shards_quarantined,
                 stats.total_breaker_trips, stats.total_suppressed_retrains);
-  if (!snapshot_dir.empty())
-    LEAF_LOG_INFO("final snapshot in %s", snapshot_dir.c_str());
-  if (!metrics_out.empty()) {
-    const std::string scrape = wants_json(metrics_out)
-                                   ? obs::MetricsRegistry::global().scrape_json()
-                                   : fleet.scrape();
-    if (!write_text_file(metrics_out, scrape)) return 1;
-    LEAF_LOG_INFO("metrics written to %s", metrics_out.c_str());
-  }
-  if (!events_out.empty()) {
-    if (!write_text_file(events_out, fleet.events_jsonl())) return 1;
+  if (!common.snapshot_dir.empty())
+    LEAF_LOG_INFO("final snapshot in %s", common.snapshot_dir.c_str());
+  if (!common.metrics_out.empty() && !write_metrics(common.metrics_out, &fleet))
+    return 1;
+  if (!common.events_out.empty()) {
+    if (!write_text_file(common.events_out, fleet.events_jsonl())) return 1;
     LEAF_LOG_INFO("%zu drift events written to %s",
-                  fleet.merged_events().size(), events_out.c_str());
+                  fleet.merged_events().size(), common.events_out.c_str());
   }
   return 0;
+}
+
+// --- query mode ------------------------------------------------------------
+
+int run_query(int argc, char** argv) {
+  std::string connect_addr;
+  bool do_status = false;
+  bool do_metrics = false;
+  bool json = false;
+  bool do_predict = false;
+  int shard = 0;
+  int rows = 1;
+  std::uint32_t deadline_ms = 0;
+  std::uint64_t seed = 2024;
+
+  const std::vector<FlagSpec> flags = {
+      {"--connect", FlagKind::kString, &connect_addr},
+      {"--status", FlagKind::kBool, &do_status},
+      {"--metrics", FlagKind::kBool, &do_metrics},
+      {"--json", FlagKind::kBool, &json},
+      {"--predict", FlagKind::kBool, &do_predict},
+      {"--shard", FlagKind::kInt, &shard},
+      {"--rows", FlagKind::kInt, &rows},
+      {"--deadline-ms", FlagKind::kU32, &deadline_ms},
+      {"--seed", FlagKind::kU64, &seed},
+  };
+  const int parse_rc = parse_args(argc, argv, 2, flags);
+  if (parse_rc >= 0) return parse_rc;
+
+  if (connect_addr.empty()) {
+    std::fprintf(stderr, "query requires --connect HOST:PORT\n");
+    return 2;
+  }
+  if (!do_status && !do_metrics && !do_predict) do_status = true;
+  if (shard < 0 || rows < 1) {
+    std::fprintf(stderr, "--shard must be >= 0, --rows >= 1\n");
+    return 2;
+  }
+
+  try {
+    const auto [host, port] = net::parse_host_port(connect_addr);
+    net::TcpClient client(host, port);
+    std::uint64_t request_id = 1;
+
+    // Status first in every case: predict needs the shard's feature
+    // count to build a valid request.
+    const net::Frame status_resp = net::call(
+        client, net::Frame{net::MsgType::kFleetStatus, request_id++, {}});
+    if (status_resp.type == net::MsgType::kError) {
+      const auto err = net::decode_body<net::ErrorResponse>(status_resp);
+      std::fprintf(stderr, "server error (%s): %s\n",
+                   net::to_string(err.code), err.message.c_str());
+      return 1;
+    }
+    const auto status = net::decode_body<net::StatusResponse>(status_resp);
+
+    if (do_status) {
+      std::printf("fleet: %llu steps, %zu shard(s)\n",
+                  static_cast<unsigned long long>(status.fleet_steps),
+                  status.shards.size());
+      std::printf("%-5s %-6s %-12s %-10s %8s %6s %8s %6s\n", "shard", "kpi",
+                  "model", "scheme", "features", "ready", "days", "done");
+      for (std::size_t i = 0; i < status.shards.size(); ++i) {
+        const net::ShardStatus& s = status.shards[i];
+        std::printf("%-5zu %-6s %-12s %-10s %8u %6s %8d %6s\n", i,
+                    s.kpi.c_str(), s.model.c_str(), s.scheme.c_str(),
+                    s.num_features, s.ready ? "yes" : "no", s.days_evaluated,
+                    s.done ? "yes" : "no");
+      }
+    }
+
+    if (do_metrics) {
+      const net::Frame resp = net::call(
+          client,
+          net::make_frame(net::MsgType::kScrapeMetrics, request_id++,
+                          net::ScrapeRequest{json}));
+      if (resp.type == net::MsgType::kError) {
+        const auto err = net::decode_body<net::ErrorResponse>(resp);
+        std::fprintf(stderr, "server error (%s): %s\n",
+                     net::to_string(err.code), err.message.c_str());
+        return 1;
+      }
+      std::fputs(net::decode_body<net::ScrapeResponse>(resp).body.c_str(),
+                 stdout);
+    }
+
+    if (do_predict) {
+      if (static_cast<std::size_t>(shard) >= status.shards.size()) {
+        std::fprintf(stderr, "shard %d outside the fleet of %zu\n", shard,
+                     status.shards.size());
+        return 1;
+      }
+      const std::uint32_t cols = status.shards[shard].num_features;
+      net::PredictRequest req;
+      req.shard = static_cast<std::uint32_t>(shard);
+      req.deadline_ms = deadline_ms;
+      req.rows = Matrix(static_cast<std::size_t>(rows), cols);
+      // Deterministic probe rows: same --seed, same request bytes.
+      Rng rng(seed);
+      for (auto& v : req.rows.flat()) v = rng.uniform();
+      const net::MsgType type = rows == 1 ? net::MsgType::kPredict
+                                          : net::MsgType::kBatchPredict;
+      const net::Frame resp =
+          net::call(client, net::make_frame(type, request_id++, req));
+      if (resp.type == net::MsgType::kError) {
+        const auto err = net::decode_body<net::ErrorResponse>(resp);
+        std::fprintf(stderr, "server error (%s): %s\n",
+                     net::to_string(err.code), err.message.c_str());
+        return 1;
+      }
+      const auto pred = net::decode_body<net::PredictResponse>(resp);
+      std::printf("shard %d predictions (%zu row(s), seed %llu):\n", shard,
+                  pred.values.size(), static_cast<unsigned long long>(seed));
+      for (double v : pred.values) std::printf("  %.6f\n", v);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 }
 
 }  // namespace
@@ -346,67 +617,37 @@ int run_serve(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
     return run_serve(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "query") == 0)
+    return run_query(argc, argv);
 
-  std::string dataset = "fixed";
+  CommonOpts common;
   std::string kpi = "DVol";
-  std::string model_name = "GBDT";
-  std::string scheme_spec = "LEAF";
   std::string csv_path;
-  std::string snapshot_dir;
-  std::string metrics_out;
-  std::string events_out;
-  std::uint64_t seed = 2024;
-  int stride = -1, train_window = -1, horizon = -1, threads = -1;
+  int stride = -1, train_window = -1, horizon = -1;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--dataset") {
-      dataset = next();
-    } else if (arg == "--kpi") {
-      kpi = next();
-    } else if (arg == "--model") {
-      model_name = next();
-    } else if (arg == "--scheme") {
-      scheme_spec = next();
-    } else if (arg == "--seed") {
-      seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--stride") {
-      stride = std::atoi(next());
-    } else if (arg == "--train-window") {
-      train_window = std::atoi(next());
-    } else if (arg == "--horizon") {
-      horizon = std::atoi(next());
-    } else if (arg == "--csv") {
-      csv_path = next();
-    } else if (arg == "--threads") {
-      threads = std::atoi(next());
-    } else if (arg == "--snapshot-dir") {
-      snapshot_dir = next();
-    } else if (arg == "--metrics-out") {
-      metrics_out = next();
-    } else if (arg == "--events-out") {
-      events_out = next();
-    } else if (arg == "--list") {
-      list_options();
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
-      usage(argv[0]);
-      return 2;
-    }
-  }
+  std::vector<FlagSpec> flags = common_flag_table(common);
+  const std::vector<FlagSpec> classic_flags = {
+      {"--kpi", FlagKind::kString, &kpi},
+      {"--stride", FlagKind::kInt, &stride},
+      {"--train-window", FlagKind::kInt, &train_window},
+      {"--horizon", FlagKind::kInt, &horizon},
+      {"--csv", FlagKind::kString, &csv_path},
+  };
+  flags.insert(flags.end(), classic_flags.begin(), classic_flags.end());
 
-  if (threads >= 0) par::set_threads(threads);
+  const int parse_rc =
+      parse_args(argc, argv, 1, flags, [](const std::string& arg) -> int {
+        if (arg == "--list") {
+          list_options();
+          return 0;
+        }
+        return -1;
+      });
+  if (parse_rc >= 0) return parse_rc;
+
+  models::ModelFamily family;
+  const int common_rc = validate_common(common, family);
+  if (common_rc >= 0) return common_rc;
 
   data::TargetKpi target;
   if (!data::parse_target(kpi, target)) {
@@ -414,33 +655,23 @@ int main(int argc, char** argv) {
                  kpi.c_str());
     return 2;
   }
-  models::ModelFamily family;
-  if (!models::parse_model_family(model_name, family)) {
-    std::fprintf(stderr, "unknown model '%s' (--list to enumerate)\n",
-                 model_name.c_str());
-    return 2;
-  }
-  if (dataset != "fixed" && dataset != "evolving") {
-    std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
-    return 2;
-  }
 
   const Scale scale = Scale::from_env();
   std::printf("leafctl: %s / %s / %s / %s (scale=%s, seed=%llu)\n",
-              dataset.c_str(), kpi.c_str(), model_name.c_str(),
-              scheme_spec.c_str(), scale.name().c_str(),
-              static_cast<unsigned long long>(seed));
+              common.dataset.c_str(), kpi.c_str(), common.model.c_str(),
+              common.scheme.c_str(), scale.name().c_str(),
+              static_cast<unsigned long long>(common.seed));
 
-  const data::CellularDataset ds = dataset == "fixed"
-                                       ? data::generate_fixed_dataset(scale)
-                                       : data::generate_evolving_dataset(scale);
-  core::EvalConfig cfg = core::make_eval_config(scale, seed);
+  const data::CellularDataset ds =
+      common.dataset == "fixed" ? data::generate_fixed_dataset(scale)
+                                : data::generate_evolving_dataset(scale);
+  core::EvalConfig cfg = core::make_eval_config(scale, common.seed);
   if (stride > 0) cfg.stride = stride;
   if (train_window > 0) cfg.train_window = train_window;
   if (horizon > 0) cfg.horizon = horizon;
 
   const data::Featurizer featurizer(ds, target, cfg.horizon);
-  const auto model = models::make_model(family, scale, seed);
+  const auto model = models::make_model(family, scale, common.seed);
   const double dispersion = core::kpi_dispersion(ds, target);
 
   core::StaticScheme static_scheme;
@@ -451,10 +682,10 @@ int main(int argc, char** argv) {
   // baseline never drifts or retrains by construction).
   obs::EventLog event_log;
   core::EvalResult run = static_run;
-  if (scheme_spec != "Static") {
+  if (common.scheme != "Static") {
     std::unique_ptr<core::MitigationScheme> scheme;
     try {
-      scheme = core::make_scheme(scheme_spec, dispersion, seed ^ 0x99);
+      scheme = core::make_scheme(common.scheme, dispersion, common.seed ^ 0x99);
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -478,15 +709,16 @@ int main(int argc, char** argv) {
   std::printf("dispersion:  %.2f (%s mitigation path)\n", dispersion,
               dispersion >= 1.0 ? "high" : "low");
 
-  if (!snapshot_dir.empty()) {
+  if (!common.snapshot_dir.empty()) {
     // A single-shard fleet snapshot of this (KPI, model, scheme) pipeline
     // at its end state, resumable with `leafctl serve --resume`.  Uses the
     // scale's standard evaluation config, as serve mode does.
-    serve::FleetRuntime fleet(ds, scale,
-                              {{target, family, scheme_spec, seed}}, seed);
+    serve::FleetRuntime fleet(
+        ds, scale, {{target, family, common.scheme, common.seed}},
+        common.seed);
     fleet.run_to_end();
-    const std::uint64_t bytes = fleet.snapshot(snapshot_dir);
-    std::printf("snapshot:    %s (%llu bytes)\n", snapshot_dir.c_str(),
+    const std::uint64_t bytes = fleet.snapshot(common.snapshot_dir);
+    std::printf("snapshot:    %s (%llu bytes)\n", common.snapshot_dir.c_str(),
                 static_cast<unsigned long long>(bytes));
   }
 
@@ -511,17 +743,13 @@ int main(int argc, char** argv) {
     }
     std::printf("series written to %s\n", csv_path.c_str());
   }
-  if (!metrics_out.empty()) {
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
-    const std::string scrape =
-        wants_json(metrics_out) ? reg.scrape_json() : reg.scrape();
-    if (!write_text_file(metrics_out, scrape)) return 1;
-    LEAF_LOG_INFO("metrics written to %s", metrics_out.c_str());
-  }
-  if (!events_out.empty()) {
-    if (!write_text_file(events_out, event_log.to_jsonl())) return 1;
+  if (!common.metrics_out.empty() &&
+      !write_metrics(common.metrics_out, nullptr))
+    return 1;
+  if (!common.events_out.empty()) {
+    if (!write_text_file(common.events_out, event_log.to_jsonl())) return 1;
     LEAF_LOG_INFO("%zu drift events written to %s", event_log.size(),
-                  events_out.c_str());
+                  common.events_out.c_str());
   }
   return 0;
 }

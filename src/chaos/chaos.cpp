@@ -17,6 +17,8 @@ enum Point : std::uint64_t {
   kSnapshotCorrupt = 4,
   kSnapshotPartial = 5,
   kCorruptTarget = 6,
+  kNetTruncate = 7,
+  kNetGarbage = 8,
 };
 
 double parse_probability(const std::string& key, const std::string& value) {
@@ -72,7 +74,8 @@ std::vector<int> parse_shards(const std::string& value) {
 
 bool ChaosConfig::any() const {
   return step_throw > 0.0 || retrain_storm > 0.0 || slow > 0.0 ||
-         snapshot_corrupt > 0.0 || snapshot_partial > 0.0;
+         snapshot_corrupt > 0.0 || snapshot_partial > 0.0 ||
+         net_truncate > 0.0 || net_garbage > 0.0;
 }
 
 ChaosConfig ChaosConfig::parse(const std::string& spec) {
@@ -103,6 +106,10 @@ ChaosConfig ChaosConfig::parse(const std::string& spec) {
         cfg.snapshot_corrupt = parse_probability(key, value);
       else if (key == "snapshot-partial")
         cfg.snapshot_partial = parse_probability(key, value);
+      else if (key == "net-truncate")
+        cfg.net_truncate = parse_probability(key, value);
+      else if (key == "net-garbage")
+        cfg.net_garbage = parse_probability(key, value);
       else
         throw std::invalid_argument("chaos: unknown fault point '" + key + "'");
     }
@@ -137,6 +144,8 @@ std::string ChaosConfig::to_string() const {
   if (slow > 0.0) out << ",slow-ms=" << slow_ms;
   prob("snapshot-corrupt", snapshot_corrupt);
   prob("snapshot-partial", snapshot_partial);
+  prob("net-truncate", net_truncate);
+  prob("net-garbage", net_garbage);
   return out.str();
 }
 
@@ -194,6 +203,14 @@ int Engine::corrupt_target(std::size_t n_shards, std::uint64_t gen) const {
 
 bool Engine::partial_write(std::uint64_t gen) const {
   return decide(kSnapshotPartial, gen, 0, cfg_.snapshot_partial);
+}
+
+bool Engine::net_truncate(std::uint64_t conn, std::uint64_t seq) const {
+  return decide(kNetTruncate, conn, seq, cfg_.net_truncate);
+}
+
+bool Engine::net_garbage(std::uint64_t conn, std::uint64_t seq) const {
+  return decide(kNetGarbage, conn, seq, cfg_.net_garbage);
 }
 
 }  // namespace leaf::chaos

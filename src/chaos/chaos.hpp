@@ -26,6 +26,10 @@
 //   snapshot-corrupt=P     P(flip a bit in one target shard's section) per
 //                          written snapshot generation
 //   snapshot-partial=P     P(the snapshot write fails midway) per generation
+//   net-truncate=P         P(an evil net client disconnects mid-frame) per
+//                          sent request (consumed by bench_net / net tests)
+//   net-garbage=P          P(an evil net client corrupts a frame byte) per
+//                          sent request
 //
 // Example: LEAF_CHAOS="seed=7,shards=0+2,step-throw=0.1,retrain-storm=0.2"
 #pragma once
@@ -57,6 +61,8 @@ struct ChaosConfig {
   int slow_ms = 2;
   double snapshot_corrupt = 0.0;
   double snapshot_partial = 0.0;
+  double net_truncate = 0.0;
+  double net_garbage = 0.0;
 
   /// True when any fault point has a non-zero probability.
   bool any() const;
@@ -103,6 +109,14 @@ class Engine {
   /// Snapshot generation `gen`'s file write fails midway, exercising the
   /// writer's temp-file cleanup and the fleet's keep-serving path.
   bool partial_write(std::uint64_t gen) const;
+
+  /// Net-plane client misbehavior (consumed by the evil clients in
+  /// bench_net and the net chaos tests; the server side has no fault
+  /// points — the point is proving it survives the client's).
+  /// Connection `conn`'s request number `seq` is cut off mid-frame.
+  bool net_truncate(std::uint64_t conn, std::uint64_t seq) const;
+  /// Connection `conn`'s request number `seq` gets one byte corrupted.
+  bool net_garbage(std::uint64_t conn, std::uint64_t seq) const;
 
  private:
   /// P(fault) decision at (fault point, a, b) — a pure substream lookup.

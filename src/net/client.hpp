@@ -1,0 +1,39 @@
+// Client-side transport abstraction shared by the deterministic loopback
+// harness (net/loopback.hpp) and the blocking TCP client (net/tcp.hpp).
+//
+// `leafctl query`, the protocol tests, and bench_net all speak to a
+// server through this one interface, so the request/response client code
+// is written once and runs unchanged over sockets or in-process.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "net/protocol.hpp"
+
+namespace leaf::net {
+
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  /// Sends one request frame.  Throws std::runtime_error when the
+  /// connection is dead.
+  virtual void send(const Frame& frame) = 0;
+
+  /// Next response frame, in arrival order.  The loopback returns
+  /// nullopt when no response is queued (pump the harness); the TCP
+  /// client blocks and returns nullopt only when the server closed the
+  /// connection.  Throws ProtocolError on response-stream damage.
+  virtual std::optional<Frame> receive() = 0;
+
+  virtual bool alive() const = 0;
+};
+
+/// Sends `frame` and waits for its response (matching request_id).  Only
+/// meaningful for transports whose receive() blocks (TCP); responses to
+/// other request ids arriving in between are an error here, since this
+/// helper is for strictly sequential request/response clients.
+Frame call(ClientTransport& transport, const Frame& frame);
+
+}  // namespace leaf::net

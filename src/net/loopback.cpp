@@ -1,0 +1,66 @@
+#include "net/loopback.hpp"
+
+namespace leaf::net {
+
+void LoopbackConnection::send(const Frame& frame) {
+  send_bytes(encode_frame(frame));
+}
+
+void LoopbackConnection::send_bytes(std::span<const std::uint8_t> bytes) {
+  if (dropped_)
+    throw std::runtime_error("net: loopback connection is dropped (" +
+                             drop_reason_ + ")");
+  harness_->core_.ingest(id_, bytes, *harness_);
+}
+
+std::optional<Frame> LoopbackConnection::receive() {
+  if (responses_.empty()) return std::nullopt;
+  Frame frame = std::move(responses_.front());
+  responses_.pop_front();
+  return frame;
+}
+
+void LoopbackConnection::close() {
+  harness_->core_.close(id_);
+  mark_dropped("closed by client");
+}
+
+void LoopbackConnection::deliver(std::span<const std::uint8_t> bytes) {
+  // Route server output through a real client-side decoder so both
+  // directions of the wire format are exercised on every exchange.
+  rx_.feed(bytes);
+  while (std::optional<Frame> frame = rx_.next())
+    responses_.push_back(std::move(*frame));
+}
+
+void LoopbackConnection::mark_dropped(const std::string& reason) {
+  dropped_ = true;
+  drop_reason_ = reason;
+}
+
+Loopback::Loopback(serve::FleetRuntime& fleet, NetConfig cfg)
+    : core_(fleet, cfg, &clock_) {}
+
+LoopbackConnection& Loopback::connect() {
+  const ConnId id = next_id_++;
+  auto conn = std::unique_ptr<LoopbackConnection>(
+      new LoopbackConnection(this, id));
+  LoopbackConnection& ref = *conn;
+  conns_.emplace(id, std::move(conn));
+  core_.open(id);
+  return ref;
+}
+
+void Loopback::send(ConnId conn, std::vector<std::uint8_t> bytes) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  it->second->deliver(bytes);
+}
+
+void Loopback::drop(ConnId conn, const std::string& reason) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  it->second->mark_dropped(reason);
+}
+
+}  // namespace leaf::net

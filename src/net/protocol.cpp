@@ -1,0 +1,267 @@
+#include "net/protocol.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace leaf::net {
+
+namespace {
+
+/// Hard ceiling on rows/cols in one predict body, independent of the
+/// frame-size bound, so a corrupted count cannot drive a giant
+/// allocation before the element bounds check catches it.
+constexpr std::uint32_t kMaxMatrixDim = 1u << 20;
+
+std::uint32_t read_u32(std::span<const std::uint8_t> b, std::size_t pos) {
+  return static_cast<std::uint32_t>(b[pos]) |
+         static_cast<std::uint32_t>(b[pos + 1]) << 8 |
+         static_cast<std::uint32_t>(b[pos + 2]) << 16 |
+         static_cast<std::uint32_t>(b[pos + 3]) << 24;
+}
+
+std::uint64_t read_u64(std::span<const std::uint8_t> b, std::size_t pos) {
+  return static_cast<std::uint64_t>(read_u32(b, pos)) |
+         static_cast<std::uint64_t>(read_u32(b, pos + 4)) << 32;
+}
+
+}  // namespace
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kPredict: return "predict";
+    case MsgType::kBatchPredict: return "batch_predict";
+    case MsgType::kScrapeMetrics: return "scrape_metrics";
+    case MsgType::kFleetStatus: return "fleet_status";
+    case MsgType::kPredictOk: return "predict_ok";
+    case MsgType::kScrapeOk: return "scrape_ok";
+    case MsgType::kStatusOk: return "status_ok";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+bool is_request(MsgType t) {
+  return static_cast<std::uint8_t>(t) < 16;
+}
+
+const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kOversized: return "oversized";
+    case ErrorCode::kBadShard: return "bad_shard";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kShed: return "shed";
+    case ErrorCode::kRetry: return "retry";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  io::Serializer s;
+  for (char c : kMagic) s.put_u8(static_cast<std::uint8_t>(c));
+  s.put_u32(kProtocolVersion);
+  s.put_u8(static_cast<std::uint8_t>(frame.type));
+  s.put_u64(frame.request_id);
+  s.put_u32(static_cast<std::uint32_t>(frame.payload.size()));
+  s.put_u32(io::crc32(frame.payload));
+  std::vector<std::uint8_t> out(s.bytes().begin(), s.bytes().end());
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_)
+    throw ProtocolError(ErrorCode::kMalformed,
+                        "decoder poisoned by an earlier framing error");
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  validate_header();  // fail fast: bad magic/version before the payload lands
+}
+
+void FrameDecoder::validate_header() {
+  const std::span<const std::uint8_t> b(buf_.data() + pos_,
+                                        buf_.size() - pos_);
+  if (b.size() >= 4 &&
+      std::memcmp(b.data(), kMagic, sizeof(kMagic)) != 0) {
+    poisoned_ = true;
+    throw ProtocolError(ErrorCode::kMalformed, "bad frame magic");
+  }
+  if (b.size() >= 8) {
+    const std::uint32_t version = read_u32(b, 4);
+    if (version != kProtocolVersion) {
+      poisoned_ = true;
+      throw ProtocolError(ErrorCode::kMalformed,
+                          "unsupported protocol version " +
+                              std::to_string(version));
+    }
+  }
+  if (b.size() >= kHeaderBytes) {
+    const std::uint32_t payload_len = read_u32(b, 17);
+    if (payload_len > max_frame_bytes_) {
+      poisoned_ = true;
+      throw ProtocolError(ErrorCode::kOversized,
+                          "frame payload of " + std::to_string(payload_len) +
+                              " bytes exceeds the " +
+                              std::to_string(max_frame_bytes_) +
+                              "-byte frame bound");
+    }
+  }
+}
+
+void FrameDecoder::compact() {
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_)
+    throw ProtocolError(ErrorCode::kMalformed,
+                        "decoder poisoned by an earlier framing error");
+  // feed() validated the header at the buffer head, but after a frame is
+  // consumed the *next* frame's header starts at pos_ — re-validate.
+  validate_header();
+  const std::span<const std::uint8_t> b(buf_.data() + pos_,
+                                        buf_.size() - pos_);
+  if (b.size() < kHeaderBytes) return std::nullopt;
+  const std::uint8_t type = b[8];
+  const std::uint64_t request_id = read_u64(b, 9);
+  const std::uint32_t payload_len = read_u32(b, 17);
+  const std::uint32_t want_crc = read_u32(b, 21);
+  if (b.size() < kHeaderBytes + payload_len) return std::nullopt;
+
+  const bool known_type =
+      type <= static_cast<std::uint8_t>(MsgType::kFleetStatus) ||
+      (type >= static_cast<std::uint8_t>(MsgType::kPredictOk) &&
+       type <= static_cast<std::uint8_t>(MsgType::kError));
+  if (!known_type) {
+    poisoned_ = true;
+    throw ProtocolError(ErrorCode::kMalformed,
+                        "unknown frame type " + std::to_string(type));
+  }
+  const std::span<const std::uint8_t> payload =
+      b.subspan(kHeaderBytes, payload_len);
+  if (io::crc32(payload) != want_crc) {
+    poisoned_ = true;
+    throw ProtocolError(ErrorCode::kMalformed, "frame CRC mismatch");
+  }
+  Frame frame{static_cast<MsgType>(type), request_id,
+              std::vector<std::uint8_t>(payload.begin(), payload.end())};
+  pos_ += kHeaderBytes + payload_len;
+  compact();
+  return frame;
+}
+
+// --- message bodies --------------------------------------------------------
+
+void PredictRequest::encode(io::Serializer& out) const {
+  out.put_u32(shard);
+  out.put_u32(deadline_ms);
+  out.put_u32(static_cast<std::uint32_t>(rows.rows()));
+  out.put_u32(static_cast<std::uint32_t>(rows.cols()));
+  for (std::size_t r = 0; r < rows.rows(); ++r)
+    for (double v : rows.row(r)) out.put_f64(v);
+}
+
+PredictRequest PredictRequest::decode(io::Deserializer& in) {
+  PredictRequest req;
+  req.shard = in.get_u32();
+  req.deadline_ms = in.get_u32();
+  const std::uint32_t n_rows = in.get_u32();
+  const std::uint32_t n_cols = in.get_u32();
+  if (n_rows > kMaxMatrixDim || n_cols > kMaxMatrixDim)
+    throw io::SnapshotError("predict matrix dimensions out of range");
+  if (in.remaining() < static_cast<std::size_t>(n_rows) * n_cols * 8)
+    throw io::SnapshotError("predict matrix truncated");
+  req.rows = Matrix(n_rows, n_cols);
+  for (std::uint32_t r = 0; r < n_rows; ++r)
+    for (std::uint32_t c = 0; c < n_cols; ++c) req.rows(r, c) = in.get_f64();
+  return req;
+}
+
+void PredictResponse::encode(io::Serializer& out) const {
+  out.put_doubles(values);
+}
+
+PredictResponse PredictResponse::decode(io::Deserializer& in) {
+  PredictResponse resp;
+  resp.values = in.get_doubles();
+  return resp;
+}
+
+void ScrapeRequest::encode(io::Serializer& out) const { out.put_bool(json); }
+
+ScrapeRequest ScrapeRequest::decode(io::Deserializer& in) {
+  ScrapeRequest req;
+  req.json = in.get_bool();
+  return req;
+}
+
+void ScrapeResponse::encode(io::Serializer& out) const {
+  out.put_string(body);
+}
+
+ScrapeResponse ScrapeResponse::decode(io::Deserializer& in) {
+  ScrapeResponse resp;
+  resp.body = in.get_string();
+  return resp;
+}
+
+void StatusResponse::encode(io::Serializer& out) const {
+  out.put_u64(fleet_steps);
+  out.put_u32(static_cast<std::uint32_t>(shards.size()));
+  for (const ShardStatus& s : shards) {
+    out.put_string(s.kpi);
+    out.put_string(s.model);
+    out.put_string(s.scheme);
+    out.put_u8(s.health);
+    out.put_bool(s.ready);
+    out.put_u32(s.num_features);
+    out.put_i32(s.days_evaluated);
+    out.put_i32(s.next_day);
+    out.put_bool(s.done);
+  }
+}
+
+StatusResponse StatusResponse::decode(io::Deserializer& in) {
+  StatusResponse resp;
+  resp.fleet_steps = in.get_u64();
+  const std::uint32_t n = in.get_u32();
+  if (n > kMaxMatrixDim)
+    throw io::SnapshotError("status shard count out of range");
+  resp.shards.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ShardStatus s;
+    s.kpi = in.get_string();
+    s.model = in.get_string();
+    s.scheme = in.get_string();
+    s.health = in.get_u8();
+    s.ready = in.get_bool();
+    s.num_features = in.get_u32();
+    s.days_evaluated = in.get_i32();
+    s.next_day = in.get_i32();
+    s.done = in.get_bool();
+    resp.shards.push_back(std::move(s));
+  }
+  return resp;
+}
+
+void ErrorResponse::encode(io::Serializer& out) const {
+  out.put_u8(static_cast<std::uint8_t>(code));
+  out.put_string(message);
+}
+
+ErrorResponse ErrorResponse::decode(io::Deserializer& in) {
+  ErrorResponse resp;
+  const std::uint8_t code = in.get_u8();
+  if (code > static_cast<std::uint8_t>(ErrorCode::kInternal))
+    throw io::SnapshotError("unknown error code " + std::to_string(code));
+  resp.code = static_cast<ErrorCode>(code);
+  resp.message = in.get_string();
+  return resp;
+}
+
+}  // namespace leaf::net

@@ -1,0 +1,359 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "par/parallel.hpp"
+
+namespace leaf::net {
+
+namespace {
+
+obs::Counter& counter(const char* name, const std::string& labels = "") {
+  return obs::MetricsRegistry::global().counter(name, labels);
+}
+
+/// Batch-size distribution.  Unlike the repo's `*_seconds` histograms this
+/// one records *logical* data: batch composition is a pure function of the
+/// request schedule under the loopback transport, so it rides the
+/// determinism checks instead of being masked by them.
+obs::Histogram& batch_rows_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "leaf_net_batch_rows", {1, 2, 4, 8, 16, 32, 64, 128});
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t WallClock::now_ms() const {
+  return static_cast<std::uint64_t>(obs::monotonic_seconds() * 1e3);
+}
+
+ServerCore::ServerCore(serve::FleetRuntime& fleet, NetConfig cfg,
+                       const Clock* clock)
+    : fleet_(&fleet),
+      cfg_(cfg),
+      clock_(clock != nullptr ? clock : &wall_clock_),
+      shard_queues_(fleet.num_shards()),
+      shard_scratch_(fleet.num_shards()) {
+  if (cfg_.queue_depth < 1)
+    throw std::invalid_argument("net: queue_depth must be >= 1");
+  if (cfg_.max_batch_rows < 1)
+    throw std::invalid_argument("net: max_batch_rows must be >= 1");
+}
+
+void ServerCore::open(ConnId conn) {
+  conns_.emplace(conn, Conn(cfg_.max_frame_bytes));
+  counter("leaf_net_connections_total").inc();
+}
+
+void ServerCore::close(ConnId conn) {
+  if (conns_.erase(conn) == 0) return;
+  counter("leaf_net_disconnects_total").inc();
+  // The peer is gone: answering its queued requests would write to a dead
+  // socket, so discard them.
+  for (auto& queue : shard_queues_) {
+    const auto is_dead = [conn](const Pending& p) { return p.conn == conn; };
+    queue.erase(std::remove_if(queue.begin(), queue.end(), is_dead),
+                queue.end());
+  }
+}
+
+std::size_t ServerCore::queued() const {
+  std::size_t n = 0;
+  for (const auto& queue : shard_queues_) n += queue.size();
+  return n;
+}
+
+void ServerCore::respond(ConnId conn, const Frame& frame,
+                         ResponseSink& sink) {
+  ++requests_served_;
+  counter("leaf_net_responses_total", obs::label("type", to_string(frame.type)))
+      .inc();
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  counter("leaf_net_bytes_tx_total").inc(bytes.size());
+  sink.send(conn, std::move(bytes));
+}
+
+void ServerCore::respond_error(ConnId conn, std::uint64_t request_id,
+                               ErrorCode code, const std::string& message,
+                               ResponseSink& sink) {
+  counter("leaf_net_errors_total", obs::label("code", to_string(code))).inc();
+  respond(conn, make_frame(MsgType::kError, request_id,
+                           ErrorResponse{code, message}),
+          sink);
+}
+
+void ServerCore::ingest(ConnId conn, std::span<const std::uint8_t> bytes,
+                        ResponseSink& sink) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;  // already dropped
+  counter("leaf_net_bytes_rx_total").inc(bytes.size());
+  try {
+    it->second.decoder.feed(bytes);
+    while (true) {
+      std::optional<Frame> frame = it->second.decoder.next();
+      if (!frame.has_value()) break;
+      handle_frame(conn, *frame, sink);
+    }
+  } catch (const ProtocolError& e) {
+    // Framing damage: the byte stream cannot be resynchronized.  Tell the
+    // peer what happened (best-effort) and kill exactly this connection —
+    // the fleet and every other connection keep serving.
+    counter("leaf_net_malformed_frames_total").inc();
+    respond_error(conn, 0, e.code(), e.what(), sink);
+    close(conn);
+    sink.drop(conn, e.what());
+    LEAF_LOG_WARN("net: dropping connection %llu: %s",
+                  static_cast<unsigned long long>(conn), e.what());
+  }
+}
+
+void ServerCore::handle_frame(ConnId conn, const Frame& frame,
+                              ResponseSink& sink) {
+  counter("leaf_net_requests_total", obs::label("type", to_string(frame.type)))
+      .inc();
+  if (!is_request(frame.type))
+    throw ProtocolError(ErrorCode::kMalformed,
+                        std::string("response-typed frame '") +
+                            to_string(frame.type) +
+                            "' on a server connection");
+  try {
+    switch (frame.type) {
+      case MsgType::kPredict:
+      case MsgType::kBatchPredict:
+        admit_predict(conn, frame, sink);
+        return;
+      case MsgType::kScrapeMetrics: {
+        const ScrapeRequest req = decode_body<ScrapeRequest>(frame);
+        respond(conn,
+                make_frame(MsgType::kScrapeOk, frame.request_id,
+                           ScrapeResponse{scrape_output(fleet_, req.json)}),
+                sink);
+        return;
+      }
+      case MsgType::kFleetStatus:
+        if (!frame.payload.empty())
+          throw ProtocolError(ErrorCode::kMalformed,
+                              "fleet_status carries no body",
+                              /*fatal=*/false);
+        respond(conn, make_frame(MsgType::kStatusOk, frame.request_id,
+                                 status()),
+                sink);
+        return;
+      default:
+        return;  // unreachable: is_request filtered the rest
+    }
+  } catch (const ProtocolError& e) {
+    if (e.fatal()) throw;
+    // Per-message problem (bad body, trailing bytes): answer it and keep
+    // the connection — the stream itself is still framed correctly.
+    counter("leaf_net_malformed_frames_total").inc();
+    respond_error(conn, frame.request_id, e.code(), e.what(), sink);
+  }
+}
+
+void ServerCore::admit_predict(ConnId conn, const Frame& frame,
+                               ResponseSink& sink) {
+  PredictRequest req = decode_body<PredictRequest>(frame);
+  if (frame.type == MsgType::kPredict && req.rows.rows() != 1)
+    throw ProtocolError(ErrorCode::kMalformed,
+                        "predict carries exactly one row (use batch_predict)",
+                        /*fatal=*/false);
+  if (req.shard >= fleet_->num_shards()) {
+    respond_error(conn, frame.request_id, ErrorCode::kBadShard,
+                  "shard " + std::to_string(req.shard) +
+                      " outside the fleet of " +
+                      std::to_string(fleet_->num_shards()),
+                  sink);
+    return;
+  }
+  if (req.rows.rows() == 0 ||
+      req.rows.rows() > static_cast<std::size_t>(cfg_.max_batch_rows)) {
+    respond_error(conn, frame.request_id, ErrorCode::kOversized,
+                  "batch of " + std::to_string(req.rows.rows()) +
+                      " rows outside [1, " +
+                      std::to_string(cfg_.max_batch_rows) + "]",
+                  sink);
+    return;
+  }
+  if (!fleet_->shard_ready(req.shard)) {
+    respond_error(conn, frame.request_id, ErrorCode::kUnavailable,
+                  "shard " + std::to_string(req.shard) +
+                      " cannot serve predictions",
+                  sink);
+    return;
+  }
+  const int want_cols = fleet_->shard_num_features(req.shard);
+  if (static_cast<int>(req.rows.cols()) != want_cols) {
+    respond_error(conn, frame.request_id, ErrorCode::kMalformed,
+                  "shard " + std::to_string(req.shard) + " expects " +
+                      std::to_string(want_cols) + " features, got " +
+                      std::to_string(req.rows.cols()),
+                  sink);
+    return;
+  }
+  std::deque<Pending>& queue = shard_queues_[req.shard];
+  if (queue.size() >= static_cast<std::size_t>(cfg_.queue_depth)) {
+    counter("leaf_net_retries_total").inc();
+    respond_error(conn, frame.request_id, ErrorCode::kRetry,
+                  "shard " + std::to_string(req.shard) + " queue full (depth " +
+                      std::to_string(cfg_.queue_depth) + ")",
+                  sink);
+    return;
+  }
+  Pending p;
+  p.conn = conn;
+  p.request_id = frame.request_id;
+  p.rows = std::move(req.rows);
+  p.arrival_ms = clock_->now_ms();
+  p.deadline_ms =
+      req.deadline_ms != 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+  p.seq = next_seq_++;
+  queue.push_back(std::move(p));
+  obs::MetricsRegistry::global()
+      .gauge("leaf_net_queue_depth")
+      .set(static_cast<double>(queued()));
+}
+
+std::size_t ServerCore::pump(ResponseSink& sink) {
+  // Phase 1 (serial): shed expired requests and freeze this pump's batch
+  // composition per shard.  Clock reads and queue pops happen only here,
+  // so batching is a pure function of (schedule, clock) — deterministic
+  // under the loopback transport at any LEAF_THREADS.
+  struct Batch {
+    std::vector<Pending> requests;
+    Matrix rows;  ///< requests' rows stacked: one predict pass
+    std::vector<std::vector<std::uint8_t>> responses;  ///< one per request
+    std::string error;  ///< non-empty: batch-wide predict failure
+  };
+  const std::uint64_t now = clock_->now_ms();
+  std::vector<Batch> batches(shard_queues_.size());
+  std::vector<std::pair<ConnId, Frame>> sheds;
+  for (std::size_t shard = 0; shard < shard_queues_.size(); ++shard) {
+    std::deque<Pending>& queue = shard_queues_[shard];
+    Batch& batch = batches[shard];
+    std::size_t rows = 0;
+    while (!queue.empty()) {
+      Pending& head = queue.front();
+      if (head.deadline_ms != 0 && now > head.arrival_ms + head.deadline_ms) {
+        counter("leaf_net_sheds_total").inc();
+        sheds.emplace_back(
+            head.conn,
+            make_frame(MsgType::kError, head.request_id,
+                       ErrorResponse{ErrorCode::kShed,
+                                     "deadline of " +
+                                         std::to_string(head.deadline_ms) +
+                                         "ms expired in queue"}));
+        queue.pop_front();
+        continue;
+      }
+      if (rows > 0 && rows + head.rows.rows() >
+                          static_cast<std::size_t>(cfg_.max_batch_rows))
+        break;  // the next pump's batch
+      rows += head.rows.rows();
+      batch.requests.push_back(std::move(head));
+      queue.pop_front();
+    }
+    if (batch.requests.empty()) continue;
+    const std::size_t cols = batch.requests.front().rows.cols();
+    batch.rows = Matrix(rows, cols);
+    std::size_t r = 0;
+    for (const Pending& p : batch.requests)
+      for (std::size_t i = 0; i < p.rows.rows(); ++i, ++r)
+        std::copy_n(p.rows.row(i).data(), cols, batch.rows.row(r).data());
+  }
+
+  // Phase 2 (parallel over shards): ONE predict_into pass per shard over
+  // its reusable aligned arena, then encode the per-request response
+  // frames.  Only shard-private state is touched here; every metric
+  // increment stays in the serial phases.
+  par::parallel_for(batches.size(), [&](std::size_t shard) {
+    Batch& batch = batches[shard];
+    if (batch.requests.empty()) return;
+    try {
+      const std::span<double> out =
+          shard_scratch_[shard].acquire(batch.rows.rows());
+      fleet_->predict_shard(shard, batch.rows, out);
+      batch.responses.reserve(batch.requests.size());
+      std::size_t offset = 0;
+      for (const Pending& p : batch.requests) {
+        PredictResponse resp;
+        resp.values.assign(
+            out.begin() + static_cast<std::ptrdiff_t>(offset),
+            out.begin() + static_cast<std::ptrdiff_t>(offset + p.rows.rows()));
+        offset += p.rows.rows();
+        batch.responses.push_back(
+            encode_frame(make_frame(MsgType::kPredictOk, p.request_id, resp)));
+      }
+    } catch (const std::exception& e) {
+      batch.error = e.what();
+    }
+  });
+
+  // Phase 3 (serial): emit in deterministic (shard, arrival) order, then
+  // the sheds (already in shard-scan order).
+  std::size_t answered = 0;
+  for (std::size_t shard = 0; shard < batches.size(); ++shard) {
+    Batch& batch = batches[shard];
+    if (batch.requests.empty()) continue;
+    counter("leaf_net_batches_total").inc();
+    batch_rows_histogram().observe(static_cast<double>(batch.rows.rows()));
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+      const Pending& p = batch.requests[i];
+      if (!batch.error.empty()) {
+        respond_error(p.conn, p.request_id, ErrorCode::kInternal,
+                      "shard predict failed: " + batch.error, sink);
+      } else {
+        ++requests_served_;
+        counter("leaf_net_responses_total",
+                obs::label("type", to_string(MsgType::kPredictOk)))
+            .inc();
+        counter("leaf_net_bytes_tx_total").inc(batch.responses[i].size());
+        sink.send(p.conn, std::move(batch.responses[i]));
+      }
+      ++answered;
+    }
+  }
+  for (auto& [conn, frame] : sheds) {
+    respond(conn, frame, sink);
+    ++answered;
+  }
+  obs::MetricsRegistry::global()
+      .gauge("leaf_net_queue_depth")
+      .set(static_cast<double>(queued()));
+  return answered;
+}
+
+StatusResponse ServerCore::status() const {
+  const serve::ServeStats stats = fleet_->stats();
+  StatusResponse resp;
+  resp.fleet_steps = stats.total_steps;
+  resp.shards.reserve(stats.shards.size());
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const serve::ShardStats& s = stats.shards[i];
+    ShardStatus out;
+    out.kpi = s.kpi;
+    out.model = s.model;
+    out.scheme = s.scheme;
+    out.health = static_cast<std::uint8_t>(s.health);
+    out.ready = fleet_->shard_ready(i);
+    out.num_features =
+        static_cast<std::uint32_t>(fleet_->shard_num_features(i));
+    out.days_evaluated = s.days_evaluated;
+    out.next_day = s.next_day;
+    out.done = s.done;
+    resp.shards.push_back(std::move(out));
+  }
+  return resp;
+}
+
+std::string scrape_output(const serve::FleetRuntime* fleet, bool json) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (json) return reg.scrape_json();
+  return fleet != nullptr ? fleet->scrape() : reg.scrape();
+}
+
+}  // namespace leaf::net

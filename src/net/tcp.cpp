@@ -1,0 +1,291 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/log.hpp"
+
+namespace leaf::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string errno_string() { return std::strerror(errno); }
+
+}  // namespace
+
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size())
+    throw std::invalid_argument("net: expected HOST:PORT, got '" + s + "'");
+  const std::string host = s.substr(0, colon);
+  const std::string port_str = s.substr(colon + 1);
+  long port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("net: bad port in '" + s + "'");
+    port = port * 10 + (c - '0');
+    if (port > 65535)
+      throw std::invalid_argument("net: port out of range in '" + s + "'");
+  }
+  if (port < 1)
+    throw std::invalid_argument("net: port out of range in '" + s + "'");
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+// --- server ----------------------------------------------------------------
+
+TcpServer::TcpServer(serve::FleetRuntime& fleet, const std::string& host,
+                     std::uint16_t port, NetConfig cfg)
+    : core_(fleet, cfg, /*clock=*/nullptr) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("net: socket() failed: " + errno_string());
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("net: bad listen address '" + host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = errno_string();
+    ::close(listen_fd_);
+    throw std::runtime_error("net: bind " + host + ":" +
+                             std::to_string(port) + " failed: " + err);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = errno_string();
+    ::close(listen_fd_);
+    throw std::runtime_error("net: listen failed: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+}
+
+TcpServer::~TcpServer() {
+  for (auto& [id, conn] : conns_)
+    if (conn.fd >= 0) ::close(conn.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpServer::send(ConnId conn, std::vector<std::uint8_t> bytes) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.closing) return;
+  it->second.out.insert(it->second.out.end(), bytes.begin(), bytes.end());
+}
+
+void TcpServer::drop(ConnId conn, const std::string& reason) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  (void)reason;  // already logged by the core
+  // Flush what we can (the typed error response), then close.
+  it->second.closing = true;
+}
+
+void TcpServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const ConnId id = next_id_++;
+    conns_[id].fd = fd;
+    core_.open(id);
+  }
+}
+
+void TcpServer::read_ready(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(it->second.fd, buf, sizeof(buf));
+    if (n > 0) {
+      core_.ingest(id, std::span<const std::uint8_t>(buf,
+                                                     static_cast<std::size_t>(n)),
+                   *this);
+      it = conns_.find(id);
+      if (it == conns_.end() || it->second.closing) return;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // EOF or hard error: the peer is gone (possibly mid-frame — the
+    // decoder's pending bytes just vanish with the connection).
+    core_.close(id);
+    destroy(id);
+    return;
+  }
+}
+
+void TcpServer::write_ready(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  TcpConn& conn = it->second;
+  while (!conn.out.empty()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    core_.close(id);
+    destroy(id);
+    return;
+  }
+  if (conn.closing) destroy(id);
+}
+
+void TcpServer::destroy(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+std::size_t TcpServer::poll_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<ConnId> ids;  // ids[i] corresponds to fds[i + 1]
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (const auto& [id, conn] : conns_) {
+    short events = 0;
+    if (!conn.closing) events |= POLLIN;
+    if (!conn.out.empty() || conn.closing) events |= POLLOUT;
+    fds.push_back({conn.fd, events, 0});
+    ids.push_back(id);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno != EINTR)
+      LEAF_LOG_WARN("net: poll failed: %s", errno_string().c_str());
+    return 0;
+  }
+  if (fds[0].revents & POLLIN) accept_ready();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const short re = fds[i + 1].revents;
+    const ConnId id = ids[i];
+    if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+      // Give reads a chance to drain a final burst first; a dead socket
+      // fails the read and tears down below.
+      if (!(re & POLLIN)) {
+        core_.close(id);
+        destroy(id);
+        continue;
+      }
+    }
+    if (re & POLLIN) read_ready(id);
+    if (re & POLLOUT) write_ready(id);
+  }
+  const std::size_t answered = core_.pump(*this);
+  // pump() buffered fresh responses; push them out without waiting for
+  // the next poll cycle.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    const ConnId id = it->first;
+    ++it;  // write_ready may erase
+    write_ready(id);
+  }
+  return answered;
+}
+
+// --- client ----------------------------------------------------------------
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error("net: socket() failed: " + errno_string());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("net: bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = errno_string();
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("net: connect " + host + ":" +
+                             std::to_string(port) + " failed: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpClient::send(const Frame& frame) {
+  if (fd_ < 0) throw std::runtime_error("net: client connection is closed");
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("net: send failed: " + errno_string());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<Frame> TcpClient::receive() {
+  while (fd_ >= 0) {
+    if (std::optional<Frame> frame = decoder_.next()) return frame;
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.feed(
+          std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ::close(fd_);
+    fd_ = -1;
+    if (n == 0 && decoder_.pending_bytes() == 0) return std::nullopt;
+    throw std::runtime_error(
+        n == 0 ? "net: server closed the connection mid-frame"
+               : "net: receive failed: " + errno_string());
+  }
+  return std::nullopt;
+}
+
+// --- shared client helper --------------------------------------------------
+
+Frame call(ClientTransport& transport, const Frame& frame) {
+  transport.send(frame);
+  std::optional<Frame> resp = transport.receive();
+  if (!resp.has_value())
+    throw std::runtime_error(
+        "net: no response (connection closed or nothing queued — loopback "
+        "callers must pump the harness first)");
+  if (resp->request_id != frame.request_id)
+    throw std::runtime_error("net: response correlation id mismatch");
+  return *resp;
+}
+
+}  // namespace leaf::net

@@ -990,6 +990,33 @@ ServeStats FleetRuntime::stats() const {
   return stats;
 }
 
+bool FleetRuntime::shard_ready(std::size_t i) const {
+  const Shard& shard = *shards_.at(i);
+  return shard.initialized && shard.health != ShardHealth::kQuarantined &&
+         shard.model != nullptr && shard.model->trained();
+}
+
+int FleetRuntime::shard_num_features(std::size_t i) const {
+  return shards_.at(i)->featurizer->num_features();
+}
+
+void FleetRuntime::predict_shard(std::size_t i, const Matrix& X,
+                                 std::span<double> out) const {
+  const Shard& shard = *shards_.at(i);
+  if (!shard_ready(i))
+    throw std::runtime_error("serve: shard " + std::to_string(i) +
+                             " is not ready to serve predictions (" +
+                             to_string(shard.health) + ")");
+  if (static_cast<int>(X.cols()) != shard.featurizer->num_features())
+    throw std::invalid_argument(
+        "serve: predict expects " +
+        std::to_string(shard.featurizer->num_features()) +
+        " features, got " + std::to_string(X.cols()));
+  if (out.size() != X.rows())
+    throw std::invalid_argument("serve: predict output size mismatch");
+  shard.model->predict_into(X, out);
+}
+
 std::vector<obs::Event> FleetRuntime::merged_events() const {
   std::vector<const obs::EventLog*> logs;
   logs.reserve(shards_.size());

@@ -229,6 +229,28 @@ class FleetRuntime {
   /// registry scrape (spans, cache counters; process-lifetime values).
   std::string scrape(bool include_process = true) const;
 
+  // --- net-plane query surface (leaf::net) ------------------------------
+  // Predictions are pure reads of a shard's current model: they never
+  // mutate shard state, so serving queries between step() calls preserves
+  // crash-equivalence bit-for-bit.  All three throw std::out_of_range on
+  // a shard index outside the fleet.
+
+  /// True when shard `i` holds a trained model and can answer predict
+  /// requests (initialized, fitted, not quarantined; done shards keep
+  /// serving their frozen model).
+  bool shard_ready(std::size_t i) const;
+
+  /// Feature-vector width shard `i` expects (its featurizer's columns).
+  int shard_num_features(std::size_t i) const;
+
+  /// Batch-predicts rows of X with shard `i`'s current model into `out`
+  /// (out.size() must equal X.rows()).  Throws std::invalid_argument on a
+  /// column-count mismatch and std::runtime_error when the shard is not
+  /// ready.  Must not race a concurrent step(); the net plane calls it
+  /// only between steps, from the thread driving the server.
+  void predict_shard(std::size_t i, const Matrix& X,
+                     std::span<double> out) const;
+
  private:
   struct Shard;
 

@@ -144,6 +144,55 @@ TEST(ObsRegistry, JsonScrapeMentionsMetricsAndSpans) {
   EXPECT_NE(json.find("\"test_obs_json_total\""), std::string::npos);
 }
 
+TEST(ObsRegistry, JsonScrapeEscapesLabelsAndNames) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  MetricsRegistry& reg = MetricsRegistry::global();
+  // label() escapes its value for the Prometheus text form (only `"` and
+  // `\`); scrape_json() must then JSON-escape whatever ends up in the
+  // label body, plus control characters the text form never sees.
+  reg.counter("test_obs_escape_total", label("kpi", "D\"Vol")).inc();
+  reg.counter("test_obs_escape_total", label("kpi", "a\\b")).inc();
+  reg.counter("test_obs_escape_total", "raw=\"line\nbreak\ttab\"").inc();
+  const std::string json = reg.scrape_json();
+
+  // label() turned D"Vol into D\"Vol; JSON re-escapes both characters.
+  EXPECT_NE(json.find("kpi=\\\"D\\\\\\\"Vol\\\""), std::string::npos);
+  // The backslash from label() doubles, then doubles again in JSON.
+  EXPECT_NE(json.find("a\\\\\\\\b"), std::string::npos);
+  // Control characters come out as escape sequences, never raw.
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_EQ(json.find('\n', json.find("raw=")), std::string::npos);
+
+  // Non-ASCII KPI names (UTF-8) pass through byte-for-byte: JSON strings
+  // are UTF-8, so no \uXXXX mangling of multi-byte sequences.
+  reg.counter("test_obs_escape_total", label("kpi", "трафик-日量")).inc();
+  const std::string json2 = reg.scrape_json();
+  EXPECT_NE(json2.find("трафик-日量"), std::string::npos);
+
+  // The escaped series must still parse as structurally sound JSON:
+  // every quote inside a string value is preceded by a backslash.  Walk
+  // the document with a tiny state machine and require balanced quotes.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json2.size(); ++i) {
+    const char c = json2[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+      else EXPECT_NE(c, '\n') << "raw newline inside JSON string";
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
 // --- event log --------------------------------------------------------------
 
 Event sample_event() {
