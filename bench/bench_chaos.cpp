@@ -12,6 +12,9 @@
 //              divergence after replay;
 //   storm      a retrain storm trips the per-shard circuit breaker the
 //              same number of times at every thread count;
+//   watchdog   an SLO watchdog fed per-step fleet stats trips
+//              slo-burn-critical on the quarantine burn, and the event
+//              shows up in the merged supervision JSONL;
 //   partial    a failed snapshot write leaves no litter and the fleet
 //              keeps serving.
 //
@@ -30,6 +33,7 @@
 #include "core/evaluation.hpp"
 #include "data/generator.hpp"
 #include "obs/events.hpp"
+#include "obs/slo.hpp"
 #include "par/parallel.hpp"
 #include "serve/runtime.hpp"
 
@@ -260,6 +264,43 @@ int main(int argc, char** argv) {
              std::to_string(st.total_suppressed_retrains), "0", "0"});
   }
 
+  // ---- watchdog: quarantine burn surfaces in the supervision stream -------
+  // The isolation fault schedule quarantines 2 of 8 shards; an SLO
+  // watchdog fed per-step fleet stats must trip slo-burn-critical
+  // (quarantine rate 0.25 over a 0.2 threshold), and its events must
+  // merge into the fleet's supervision JSONL via attach_supervision_log.
+  int watchdog_criticals = 0;
+  {
+    par::set_threads(1);
+    serve::FleetRuntime fleet(ds, scale, make_specs(), 2024,
+                              with_chaos(isolation_spec));
+    obs::SloWatchdog dog(obs::SloSpec::parse("window=4,quarantine=0.2"));
+    fleet.attach_supervision_log(&dog.events());
+    const obs::Stopwatch sw;
+    while (fleet.run_steps(1) > 0) {
+      obs::SloSample s;
+      s.shards = fleet.num_shards();
+      s.quarantined = fleet.stats().shards_quarantined;
+      s.nrmse = fleet.current_avg_nrmse();
+      dog.observe(s);
+    }
+    if (dog.state() != obs::SloWatchdog::State::kCritical)
+      return fail("watchdog: quarantine burn never went critical");
+    for (const obs::Event& e : dog.events().events())
+      if (e.kind == obs::EventKind::kSloBurnCritical) ++watchdog_criticals;
+    if (watchdog_criticals == 0)
+      return fail("watchdog: no slo-burn-critical event emitted");
+    const std::string merged = fleet.supervision_jsonl(false);
+    if (merged.find("slo-burn-critical") == std::string::npos)
+      return fail("watchdog: event missing from merged supervision stream");
+    std::printf("%-10s %8d %10.3f %12zu %8d %10d\n", "watchdog", 1,
+                sw.seconds(), fleet.stats().shards_quarantined,
+                watchdog_criticals, 0);
+    csv.row({"watchdog", "1", fmt(sw.seconds()),
+             std::to_string(fleet.stats().shards_quarantined),
+             std::to_string(watchdog_criticals), "0", "0", "0", "0"});
+  }
+
   // ---- partial: failed snapshot write leaves no litter --------------------
   par::set_threads(1);
   {
@@ -289,6 +330,8 @@ int main(int argc, char** argv) {
        << ", \"healthy_divergence\": 0},\n"
        << "  \"storm\": {\"breaker_trips\": " << storm_trips
        << ", \"suppressed_retrains\": " << storm_suppressed << "},\n"
+       << "  \"watchdog\": {\"criticals\": " << watchdog_criticals
+       << ", \"merged_into_supervision\": true},\n"
        << "  \"metrics\": " << bench::metrics_json() << "\n}\n";
   par::set_threads(0);
   bench::require_ok(csv);

@@ -16,7 +16,14 @@
 //                identical to a chaos-free run;
 //   determinism  one fixed schedule replayed at LEAF_THREADS=1 and 4
 //                produces byte-identical response frames and identical
-//                masked leaf_net_* telemetry.
+//                masked leaf_net_* telemetry;
+//   trace        the same schedule with a Tracer attached at threads 1
+//                and 4 writes TRACE_t1.json / TRACE_t4.json — after
+//                masking the wall-clock "ts"/"dur" fields the two span
+//                streams must be byte-identical;
+//   slo          a seeded chaos deadline storm must drive the SLO
+//                watchdog to slo-burn-critical, and a quiet tail must
+//                bring it back to slo-recovered.
 //
 // Any violation exits non-zero.  Emits BENCH_net.{csv,json}; the JSON
 // carries the golden counts the CI net job asserts on.  `--smoke`
@@ -24,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +41,8 @@
 #include "common/rng.hpp"
 #include "data/generator.hpp"
 #include "net/loopback.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel.hpp"
 #include "serve/runtime.hpp"
 
@@ -353,6 +363,145 @@ int main(int argc, char** argv) {
     csv.row({"determinism", "1+4", "3", "0", "0", "0", "0", "0", "0", "0"});
   }
 
+  // ---- trace: masked span streams at threads 1 vs 4 -----------------------
+  // Trace ids derive from (connection, request id) and spans are written
+  // by the single pump thread, so with wall-clock ts/dur masked the two
+  // files must match byte for byte.
+  std::uint64_t trace_spans = 0;
+  {
+    const auto traced = [&](int threads, const std::string& path) {
+      par::set_threads(threads);
+      obs::Tracer tracer(path, /*sample_every=*/1);
+      if (!tracer.ok()) return std::make_pair(std::string(), std::uint64_t{0});
+      net::Loopback loop(fleet);
+      loop.core().set_tracer(&tracer);
+      std::vector<net::LoopbackConnection*> conns;
+      for (int c = 0; c < 2; ++c) conns.push_back(&loop.connect());
+      conns[0]->send(net::Frame{net::MsgType::kFleetStatus, 1, {}});
+      std::uint64_t id = 2;
+      for (int round = 0; round < (smoke ? 4 : 12); ++round) {
+        for (int c = 0; c < 2; ++c) {
+          const std::uint32_t shard =
+              static_cast<std::uint32_t>((round + c) % num_shards);
+          const std::size_t rows = 1 + (round + c) % 3;
+          const int cols = fleet.shard_num_features(shard);
+          conns[c]->send(net::make_frame(
+              rows == 1 ? net::MsgType::kPredict : net::MsgType::kBatchPredict,
+              id, net::PredictRequest{shard, 0, probe_rows(rows, cols, id)}));
+          ++id;
+        }
+        do {
+          loop.pump();
+        } while (loop.core().queued() > 0);
+      }
+      loop.core().set_tracer(nullptr);
+      tracer.close();
+      std::ifstream in(path);
+      std::stringstream buf;
+      buf << in.rdbuf();
+      static const std::regex kWallClock(", \"ts\": [0-9]+, \"dur\": [0-9]+");
+      return std::make_pair(std::regex_replace(buf.str(), kWallClock, ""),
+                            tracer.spans_written());
+    };
+    const auto [masked1, spans1] =
+        traced(1, bench::out_dir() + "/TRACE_t1.json");
+    const auto [masked4, spans4] =
+        traced(4, bench::out_dir() + "/TRACE_t4.json");
+    if (spans1 == 0 || masked1.empty())
+      return fail("trace: no spans written (tracer sink unopenable?)");
+    if (masked1.substr(0, 1) != "[" ||
+        masked1.substr(masked1.size() - 2) != "]\n")
+      return fail("trace: output is not a Chrome trace-event array");
+    if (masked1 != masked4 || spans1 != spans4)
+      return fail("trace: masked span streams differ across thread counts");
+    trace_spans = spans1;
+    std::printf("%-12s threads 1 vs 4: %llu spans, masked streams identical\n",
+                "trace", static_cast<unsigned long long>(trace_spans));
+    csv.row({"trace", "1+4", "2", "0", std::to_string(trace_spans), "0", "0",
+             "0", "0", "0"});
+  }
+
+  // ---- slo: deadline storm trips the watchdog, quiet tail recovers --------
+  // Storm membership is a pure function of (seed, conn, round), so the
+  // event sequence and final state are golden.
+  std::uint64_t slo_criticals = 0, slo_recoveries = 0;
+  std::string slo_final_state;
+  {
+    obs::MetricsRegistry::global().reset_values();
+    const chaos::Engine storm(
+        chaos::ChaosConfig::parse("seed=7,deadline-storm=0.75"));
+    obs::SloWatchdog dog(
+        obs::SloSpec::parse("window=4,deadline-miss=0.3,recover=3"));
+    net::NetConfig cfg;
+    cfg.max_batch_rows = 8;
+    net::Loopback loop(fleet, cfg);
+    std::vector<net::LoopbackConnection*> conns;
+    for (int c = 0; c < 4; ++c) conns.push_back(&loop.connect());
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    std::uint64_t last_responses = 0, last_sheds = 0, last_retries = 0;
+    bool burned_critical = false;
+    std::uint64_t id = 1;
+    const int storm_from = 4, storm_to = 10, total_rounds = 20;
+    for (int round = 0; round < total_rounds; ++round) {
+      const bool stormy = round >= storm_from && round < storm_to;
+      for (int c = 0; c < 4; ++c) {
+        const std::uint32_t shard = static_cast<std::uint32_t>(c % num_shards);
+        const int cols = fleet.shard_num_features(shard);
+        // During the storm most requests carry a 5 ms budget that expires
+        // while queued; quiet rounds have no deadline at all.
+        const std::uint64_t deadline =
+            stormy && storm.deadline_storm(static_cast<std::uint64_t>(c),
+                                           static_cast<std::uint64_t>(round))
+                ? 5
+                : 0;
+        conns[c]->send(net::make_frame(
+            net::MsgType::kPredict, id,
+            net::PredictRequest{shard, deadline, probe_rows(1, cols, id)}));
+        ++id;
+      }
+      if (stormy) loop.clock().advance_ms(50);
+      do {
+        loop.pump();
+      } while (loop.core().queued() > 0);
+      obs::SloSample s;
+      const std::uint64_t responses =
+          reg.counter("leaf_net_responses_total").value();
+      const std::uint64_t sheds = reg.counter("leaf_net_sheds_total").value();
+      const std::uint64_t retries =
+          reg.counter("leaf_net_retries_total").value();
+      s.requests = responses - last_responses;
+      s.deadline_misses = sheds - last_sheds;
+      s.sheds = sheds - last_sheds;
+      s.retries = retries - last_retries;
+      s.shards = fleet.num_shards();
+      s.quarantined = fleet.stats().shards_quarantined;
+      last_responses = responses;
+      last_sheds = sheds;
+      last_retries = retries;
+      if (dog.observe(s) == obs::SloWatchdog::State::kCritical)
+        burned_critical = true;
+    }
+    for (const obs::Event& e : dog.events().events()) {
+      if (e.kind == obs::EventKind::kSloBurnCritical) ++slo_criticals;
+      if (e.kind == obs::EventKind::kSloRecovered) ++slo_recoveries;
+    }
+    slo_final_state = obs::to_string(dog.state());
+    if (!burned_critical)
+      return fail("slo: deadline storm never tripped slo-burn-critical");
+    if (dog.state() != obs::SloWatchdog::State::kOk || slo_recoveries == 0)
+      return fail("slo: watchdog never recovered after the storm passed");
+    if (obs::kCompiledIn &&
+        reg.gauge("leaf_slo_state").value() != 0.0)
+      return fail("slo: leaf_slo_state gauge disagrees with watchdog state");
+    std::printf("%-12s criticals=%llu recoveries=%llu final=%s\n", "slo",
+                static_cast<unsigned long long>(slo_criticals),
+                static_cast<unsigned long long>(slo_recoveries),
+                slo_final_state.c_str());
+    csv.row({"slo", "1", "4", "1", std::to_string(total_rounds * 4), "0",
+             std::to_string(slo_criticals), std::to_string(slo_recoveries),
+             "0", "0"});
+  }
+
   std::ofstream json(bench::out_dir() + "/BENCH_net.json");
   json << "{\n"
        << "  \"admission\": {\"served\": " << golden_served
@@ -363,6 +512,11 @@ int main(int argc, char** argv) {
        << ", \"fleet_survived\": true},\n"
        << "  \"determinism\": {\"identical\": "
        << (determinism_ok ? "true" : "false") << "},\n"
+       << "  \"trace\": {\"spans\": " << trace_spans
+       << ", \"masked_identical\": true},\n"
+       << "  \"slo\": {\"criticals\": " << slo_criticals
+       << ", \"recoveries\": " << slo_recoveries << ", \"final_state\": \""
+       << slo_final_state << "\"},\n"
        << "  \"metrics\": " << bench::metrics_json() << "\n}\n";
   par::set_threads(0);
   bench::require_ok(csv);

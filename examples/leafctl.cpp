@@ -24,7 +24,8 @@
 //                 [--breaker-cooldown DAYS] [--chaos SPEC]
 //                 [--listen HOST:PORT] [--serve-requests N]
 //                 [--net-queue-depth N] [--net-max-batch N]
-//                 [--net-deadline-ms N]
+//                 [--net-deadline-ms N] [--trace-out FILE]
+//                 [--trace-sample-every N] [--slo SPEC]
 //
 // `--listen` additionally runs the leaf::net RPC front end on the same
 // thread as the fleet: the socket event loop is polled between fleet
@@ -32,11 +33,28 @@
 // against the finished models (forever, or until `--serve-requests N`
 // responses have been sent — the CI smoke's termination condition).
 //
+// `--trace-out FILE` (requires --listen) records every sampled RPC's
+// span tree — request → decode / admission / batch / shard-predict /
+// respond — as a Chrome trace-event JSON file (load it in
+// chrome://tracing or Perfetto).  `--trace-sample-every N` keeps every
+// N-th trace id (deterministic: the decision is a pure function of the
+// id, never of wall clock).  `--slo SPEC` arms the burn-rate watchdog
+// (obs/slo.hpp spec grammar, e.g. "window=8,deadline-miss=0.3"): each
+// fleet step / poll cycle feeds it one sample of serving-plane counter
+// deltas, and state transitions emit slo-burn-warning / slo-burn-critical
+// / slo-recovered supervision events and trip the leaf_slo_state gauge.
+//
 // Query mode is the matching client:
 //
 //   leafctl query --connect HOST:PORT [--status] [--metrics [--json]]
+//                 [--slo]
 //                 [--predict --shard N [--rows K] [--deadline-ms N]
 //                  [--seed N]]
+//
+// `--metrics` prints the server's scrape verbatim: Prometheus text by
+// default, the full JSON registry dump with `--json`.  `--slo` prints
+// the SLO slice only — the leaf_slo_state gauge and the latency summary
+// quantile lines (leaf_rpc_latency_seconds and friends).
 //
 // `--resume` with an empty or missing snapshot directory starts fresh
 // with a warning; genuinely malformed on-disk state exits with code 2.
@@ -68,6 +86,8 @@
 #include "obs/events.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel.hpp"
 #include "serve/runtime.hpp"
 
@@ -91,13 +111,19 @@ void usage(const char* argv0) {
                "[--metrics-out FILE] [--events-out FILE] "
                "[--summary-every N] [--listen HOST:PORT] "
                "[--serve-requests N] [--net-queue-depth N] "
-               "[--net-max-batch N] [--net-deadline-ms N]\n"
+               "[--net-max-batch N] [--net-deadline-ms N] "
+               "[--trace-out FILE] [--trace-sample-every N] [--slo SPEC]\n"
                "       %s query --connect HOST:PORT [--status] "
-               "[--metrics [--json]] [--predict --shard N [--rows K] "
-               "[--deadline-ms N] [--seed N]]\n"
+               "[--metrics [--json]] [--slo] [--predict --shard N "
+               "[--rows K] [--deadline-ms N] [--seed N]]\n"
                "flags: --metrics-out writes a Prometheus text scrape "
                "(.json suffix: JSON); --events-out writes the drift-event "
                "JSONL; --listen serves the leaf::net RPC protocol; "
+               "--trace-out records Chrome trace-event spans for sampled "
+               "RPCs (--trace-sample-every N keeps every N-th trace); "
+               "--slo SPEC arms the burn-rate watchdog (serve) / prints "
+               "the SLO scrape slice (query); query --metrics --json "
+               "dumps the full JSON registry; "
                "LEAF_LOG_LEVEL=error|warn|info|debug controls stderr "
                "verbosity\n",
                argv0, argv0, argv0);
@@ -282,6 +308,9 @@ int run_serve(int argc, char** argv) {
   std::string kpis = "DVol";
   std::string chaos_spec;
   std::string listen_addr;
+  std::string trace_out;
+  std::string slo_spec;
+  std::uint64_t trace_sample_every = 1;
   int shards = 0;  // 0 = one per KPI
   int snapshot_every = 0;
   int summary_every = 20;
@@ -312,6 +341,9 @@ int run_serve(int argc, char** argv) {
       {"--net-queue-depth", FlagKind::kInt, &net_cfg.queue_depth},
       {"--net-max-batch", FlagKind::kInt, &net_cfg.max_batch_rows},
       {"--net-deadline-ms", FlagKind::kU32, &net_deadline_ms},
+      {"--trace-out", FlagKind::kString, &trace_out},
+      {"--trace-sample-every", FlagKind::kU64, &trace_sample_every},
+      {"--slo", FlagKind::kString, &slo_spec},
   };
   flags.insert(flags.end(), serve_flags.begin(), serve_flags.end());
 
@@ -361,6 +393,21 @@ int run_serve(int argc, char** argv) {
     std::fprintf(stderr,
                  "--snapshot-keep must be >= 1, --max-shard-retries and "
                  "--breaker-max-retrains >= 0\n");
+    return 2;
+  }
+  obs::SloSpec slo;
+  try {
+    slo = obs::SloSpec::parse(slo_spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (!trace_out.empty() && listen_addr.empty()) {
+    std::fprintf(stderr, "--trace-out requires --listen (it traces RPCs)\n");
+    return 2;
+  }
+  if (trace_sample_every == 0) {
+    std::fprintf(stderr, "--trace-sample-every must be >= 1\n");
     return 2;
   }
   net_cfg.default_deadline_ms = net_deadline_ms;
@@ -436,6 +483,51 @@ int run_serve(int argc, char** argv) {
                static_cast<std::uint64_t>(serve_requests);
   };
 
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>(trace_out, trace_sample_every);
+    if (!tracer->ok()) {
+      std::fprintf(stderr, "cannot open trace sink: %s\n",
+                   tracer->error().c_str());
+      return 2;
+    }
+    server->core().set_tracer(tracer.get());
+    LEAF_LOG_INFO("tracing to %s (sample-every=%llu)", trace_out.c_str(),
+                  static_cast<unsigned long long>(trace_sample_every));
+  }
+
+  // The SLO watchdog ticks once per loop iteration (a logical tick, never
+  // a wall-clock timer) on deltas of the serving-plane counters, so its
+  // state trajectory is a pure function of the request/fleet schedule.
+  std::unique_ptr<obs::SloWatchdog> watchdog;
+  if (slo.any()) {
+    watchdog = std::make_unique<obs::SloWatchdog>(slo);
+    fleet.attach_supervision_log(&watchdog->events());
+    LEAF_LOG_INFO("slo watchdog armed: %s", slo.to_string().c_str());
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  std::uint64_t last_responses = 0, last_sheds = 0, last_retries = 0;
+  const auto watchdog_tick = [&]() {
+    if (watchdog == nullptr) return;
+    const std::uint64_t responses =
+        reg.counter("leaf_net_responses_total").value();
+    const std::uint64_t sheds = reg.counter("leaf_net_sheds_total").value();
+    const std::uint64_t retries =
+        reg.counter("leaf_net_retries_total").value();
+    obs::SloSample s;
+    s.requests = responses - last_responses;
+    s.deadline_misses = sheds - last_sheds;
+    s.sheds = sheds - last_sheds;
+    s.retries = retries - last_retries;
+    s.shards = fleet.num_shards();
+    s.quarantined = fleet.stats().shards_quarantined;
+    s.nrmse = fleet.current_avg_nrmse();
+    last_responses = responses;
+    last_sheds = sheds;
+    last_retries = retries;
+    watchdog->observe(s);
+  };
+
   // The fleet and the RPC front end share this one thread: queries are
   // answered between steps, so predictions never race shard mutation and
   // crash-equivalence is preserved.
@@ -451,16 +543,33 @@ int run_serve(int argc, char** argv) {
           s.shards.size(), s.total_drift_events, s.total_retrains);
     }
     if (server != nullptr) server->poll_once(0);
+    watchdog_tick();
   }
   if (!common.snapshot_dir.empty()) fleet.snapshot(common.snapshot_dir);
 
   // Fleet finished (or the request budget ended stepping early): keep
   // serving the frozen models until the budget is spent — or forever
   // when no budget was set (a real server runs until killed).
-  while (server != nullptr && !served_enough()) server->poll_once(50);
+  while (server != nullptr && !served_enough()) {
+    server->poll_once(50);
+    watchdog_tick();
+  }
   if (server != nullptr)
     std::printf("leafctl serve: answered %llu request(s)\n",
                 static_cast<unsigned long long>(server->requests_served()));
+  if (tracer != nullptr) {
+    tracer->close();
+    if (!tracer->ok()) {
+      std::fprintf(stderr, "trace sink failed: %s\n", tracer->error().c_str());
+      return 1;
+    }
+    std::printf("leafctl serve: %llu trace span(s) written to %s\n",
+                static_cast<unsigned long long>(tracer->spans_written()),
+                tracer->path().c_str());
+  }
+  if (watchdog != nullptr)
+    LEAF_LOG_INFO("slo watchdog final state: %s",
+                  obs::to_string(watchdog->state()));
 
   const serve::ServeStats stats = fleet.stats();
   const std::vector<core::EvalResult> results = fleet.results();
@@ -498,6 +607,7 @@ int run_query(int argc, char** argv) {
   std::string connect_addr;
   bool do_status = false;
   bool do_metrics = false;
+  bool do_slo = false;
   bool json = false;
   bool do_predict = false;
   int shard = 0;
@@ -509,6 +619,7 @@ int run_query(int argc, char** argv) {
       {"--connect", FlagKind::kString, &connect_addr},
       {"--status", FlagKind::kBool, &do_status},
       {"--metrics", FlagKind::kBool, &do_metrics},
+      {"--slo", FlagKind::kBool, &do_slo},
       {"--json", FlagKind::kBool, &json},
       {"--predict", FlagKind::kBool, &do_predict},
       {"--shard", FlagKind::kInt, &shard},
@@ -523,7 +634,7 @@ int run_query(int argc, char** argv) {
     std::fprintf(stderr, "query requires --connect HOST:PORT\n");
     return 2;
   }
-  if (!do_status && !do_metrics && !do_predict) do_status = true;
+  if (!do_status && !do_metrics && !do_slo && !do_predict) do_status = true;
   if (shard < 0 || rows < 1) {
     std::fprintf(stderr, "--shard must be >= 0, --rows >= 1\n");
     return 2;
@@ -574,6 +685,33 @@ int run_query(int argc, char** argv) {
       }
       std::fputs(net::decode_body<net::ScrapeResponse>(resp).body.c_str(),
                  stdout);
+    }
+
+    if (do_slo) {
+      // The SLO slice of the text scrape: the leaf_slo_state gauge plus
+      // every latency-summary quantile line.
+      const net::Frame resp = net::call(
+          client, net::make_frame(net::MsgType::kScrapeMetrics, request_id++,
+                                  net::ScrapeRequest{false}));
+      if (resp.type == net::MsgType::kError) {
+        const auto err = net::decode_body<net::ErrorResponse>(resp);
+        std::fprintf(stderr, "server error (%s): %s\n",
+                     net::to_string(err.code), err.message.c_str());
+        return 1;
+      }
+      const std::string body =
+          net::decode_body<net::ScrapeResponse>(resp).body;
+      std::size_t start = 0;
+      while (start < body.size()) {
+        const std::size_t nl = body.find('\n', start);
+        const std::size_t end = nl == std::string::npos ? body.size() : nl;
+        const std::string line = body.substr(start, end - start);
+        if (line.compare(0, 9, "leaf_slo_") == 0 ||
+            (!line.empty() && line[0] != '#' &&
+             line.find("quantile=") != std::string::npos))
+          std::printf("%s\n", line.c_str());
+        start = end + 1;
+      }
     }
 
     if (do_predict) {

@@ -19,6 +19,7 @@ enum Point : std::uint64_t {
   kCorruptTarget = 6,
   kNetTruncate = 7,
   kNetGarbage = 8,
+  kDeadlineStorm = 9,
 };
 
 double parse_probability(const std::string& key, const std::string& value) {
@@ -75,7 +76,7 @@ std::vector<int> parse_shards(const std::string& value) {
 bool ChaosConfig::any() const {
   return step_throw > 0.0 || retrain_storm > 0.0 || slow > 0.0 ||
          snapshot_corrupt > 0.0 || snapshot_partial > 0.0 ||
-         net_truncate > 0.0 || net_garbage > 0.0;
+         net_truncate > 0.0 || net_garbage > 0.0 || deadline_storm > 0.0;
 }
 
 ChaosConfig ChaosConfig::parse(const std::string& spec) {
@@ -110,6 +111,8 @@ ChaosConfig ChaosConfig::parse(const std::string& spec) {
         cfg.net_truncate = parse_probability(key, value);
       else if (key == "net-garbage")
         cfg.net_garbage = parse_probability(key, value);
+      else if (key == "deadline-storm")
+        cfg.deadline_storm = parse_probability(key, value);
       else
         throw std::invalid_argument("chaos: unknown fault point '" + key + "'");
     }
@@ -146,6 +149,7 @@ std::string ChaosConfig::to_string() const {
   prob("snapshot-partial", snapshot_partial);
   prob("net-truncate", net_truncate);
   prob("net-garbage", net_garbage);
+  prob("deadline-storm", deadline_storm);
   return out.str();
 }
 
@@ -211,6 +215,10 @@ bool Engine::net_truncate(std::uint64_t conn, std::uint64_t seq) const {
 
 bool Engine::net_garbage(std::uint64_t conn, std::uint64_t seq) const {
   return decide(kNetGarbage, conn, seq, cfg_.net_garbage);
+}
+
+bool Engine::deadline_storm(std::uint64_t conn, std::uint64_t seq) const {
+  return decide(kDeadlineStorm, conn, seq, cfg_.deadline_storm);
 }
 
 }  // namespace leaf::chaos

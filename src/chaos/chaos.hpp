@@ -30,6 +30,9 @@
 //                          sent request (consumed by bench_net / net tests)
 //   net-garbage=P          P(an evil net client corrupts a frame byte) per
 //                          sent request
+//   deadline-storm=P       P(a net client sends a request with an already-
+//                          hopeless 1ms deadline) per sent request — drives
+//                          queue sheds and the SLO burn-rate watchdog
 //
 // Example: LEAF_CHAOS="seed=7,shards=0+2,step-throw=0.1,retrain-storm=0.2"
 #pragma once
@@ -63,6 +66,7 @@ struct ChaosConfig {
   double snapshot_partial = 0.0;
   double net_truncate = 0.0;
   double net_garbage = 0.0;
+  double deadline_storm = 0.0;
 
   /// True when any fault point has a non-zero probability.
   bool any() const;
@@ -117,6 +121,9 @@ class Engine {
   bool net_truncate(std::uint64_t conn, std::uint64_t seq) const;
   /// Connection `conn`'s request number `seq` gets one byte corrupted.
   bool net_garbage(std::uint64_t conn, std::uint64_t seq) const;
+  /// Connection `conn`'s request number `seq` carries a deadline it
+  /// cannot possibly meet, forcing a SHED at dequeue time.
+  bool deadline_storm(std::uint64_t conn, std::uint64_t seq) const;
 
  private:
   /// P(fault) decision at (fault point, a, b) — a pure substream lookup.

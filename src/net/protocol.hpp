@@ -4,12 +4,22 @@
 // little-endian, encoded with the bounds-checked leaf::io serializer):
 //
 //   magic        4 bytes   "LNET"
-//   version      u32       kProtocolVersion
+//   version      u32       kProtocolVersion (2; version 1 still decoded)
 //   type         u8        MsgType
 //   request_id   u64       client-chosen correlation id, echoed in responses
+//   trace_id     16 bytes  v2 only: distributed-trace id (zero = none)
+//   parent_span  u64       v2 only: caller's span id (zero = trace root)
 //   payload_len  u32       payload byte count (bounded by the decoder)
 //   crc          u32       CRC-32 of the payload bytes (io::crc32)
 //   payload      bytes     one encoded message body (below)
+//
+// Version compatibility: v2 (current) inserts the 24 tracing bytes
+// between request_id and payload_len; every field up to and including
+// request_id sits at the same offset in both versions, and the decoder
+// accepts both — a v1 client talks to a v2 server unchanged, and the
+// server echoes each response in the request's version so an old client
+// never sees bytes it cannot parse.  Any other version poisons the
+// stream (it cannot be resynchronized).
 //
 // Like the LEAFSNAP container, every frame is independently checksummed
 // and every decode parses into temporaries with explicit bounds checks:
@@ -34,14 +44,20 @@
 
 #include "common/matrix.hpp"
 #include "io/serializer.hpp"
+#include "obs/trace.hpp"
 
 namespace leaf::net {
 
 inline constexpr char kMagic[4] = {'L', 'N', 'E', 'T'};
-inline constexpr std::uint32_t kProtocolVersion = 1;
-/// Fixed frame header size: magic + version + type + request_id +
-/// payload_len + crc.
-inline constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 8 + 4 + 4;
+/// Current protocol version.  v2 added the per-frame trace id + parent
+/// span id; v1 frames (no tracing bytes) are still decoded and answered.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolV1 = 1;
+/// v2 frame header size: magic + version + type + request_id + trace_id +
+/// parent_span + payload_len + crc.
+inline constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 8 + 16 + 8 + 4 + 4;
+/// v1 frame header size (no tracing fields).
+inline constexpr std::size_t kHeaderBytesV1 = 4 + 4 + 1 + 8 + 4 + 4;
 /// Default per-frame payload ceiling (NetConfig can lower it).
 inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
 
@@ -94,11 +110,18 @@ class ProtocolError : public std::runtime_error {
   bool fatal_;
 };
 
-/// One decoded frame: type + correlation id + verified payload bytes.
+/// One decoded frame: type + correlation id + verified payload bytes,
+/// plus the v2 tracing context.  The tracing fields default to "absent"
+/// so `Frame{type, id, payload}` aggregate initializers keep working;
+/// `version` controls which layout encode_frame emits (servers echo the
+/// request's version so v1 clients get v1 responses).
 struct Frame {
   MsgType type = MsgType::kPredict;
   std::uint64_t request_id = 0;
   std::vector<std::uint8_t> payload;
+  std::uint32_t version = kProtocolVersion;
+  obs::TraceId trace{};           ///< v2: all-zero = no trace attached
+  std::uint64_t parent_span = 0;  ///< v2: 0 = root of the trace
 
   bool operator==(const Frame&) const = default;
 };

@@ -25,6 +25,13 @@ obs::Histogram& batch_rows_histogram() {
   return h;
 }
 
+/// Exact-percentile RPC latency, one series per request type.  The name
+/// carries `_seconds`, so the whole family is wall-clock-masked.
+obs::LatencyHistogram& rpc_latency(MsgType type) {
+  return obs::MetricsRegistry::global().latency(
+      "leaf_rpc_latency_seconds", obs::label("type", to_string(type)));
+}
+
 }  // namespace
 
 std::uint64_t WallClock::now_ms() const {
@@ -79,11 +86,78 @@ void ServerCore::respond(ConnId conn, const Frame& frame,
 
 void ServerCore::respond_error(ConnId conn, std::uint64_t request_id,
                                ErrorCode code, const std::string& message,
-                               ResponseSink& sink) {
+                               ResponseSink& sink, std::uint32_t version,
+                               const obs::TraceId* trace) {
   counter("leaf_net_errors_total", obs::label("code", to_string(code))).inc();
-  respond(conn, make_frame(MsgType::kError, request_id,
-                           ErrorResponse{code, message}),
-          sink);
+  Frame frame =
+      make_frame(MsgType::kError, request_id, ErrorResponse{code, message});
+  frame.version = version;
+  if (trace != nullptr) frame.trace = *trace;
+  respond(conn, frame, sink);
+}
+
+void ServerCore::init_pending(Pending& p, ConnId conn, const Frame& frame) {
+  p.conn = conn;
+  p.request_id = frame.request_id;
+  p.type = frame.type;
+  p.version = frame.version;
+  p.trace = obs::trace_is_zero(frame.trace)
+                ? obs::derive_trace_id(conn, frame.request_id)
+                : frame.trace;
+  p.parent_span = frame.parent_span;
+  p.traced = tracer_ != nullptr && tracer_->ok() && tracer_->sampled(p.trace);
+  p.arrival_s = obs::monotonic_seconds();
+  if (p.traced) {
+    const std::size_t root = p.spans.begin("request");
+    p.spans.annotate(root, "\"conn\": " + std::to_string(conn) +
+                               ", \"request_id\": " +
+                               std::to_string(frame.request_id) +
+                               ", \"type\": \"" + to_string(frame.type) +
+                               "\"");
+  }
+}
+
+void ServerCore::finish_error(Pending& p, ErrorCode code,
+                              const std::string& message,
+                              ResponseSink& sink) {
+  std::size_t respond_span = 0;
+  if (p.traced) respond_span = p.spans.begin("respond");
+  respond_error(p.conn, p.request_id, code, message, sink, p.version,
+                &p.trace);
+  if (p.traced) {
+    p.spans.end(respond_span);
+    p.spans.end(0);  // the root "request" span
+    flush_trace(p);
+  }
+  rpc_latency(p.type).observe(obs::monotonic_seconds() - p.arrival_s);
+}
+
+void ServerCore::flush_trace(Pending& p) {
+  if (!p.traced || tracer_ == nullptr) return;
+  std::vector<obs::TraceSpan>& spans = p.spans.mutable_spans();
+  if (spans.empty()) return;
+  // Span 0 is the "request" root; children hang off it, except
+  // "shard-predict", which nests under its batch span.  Ids are pure
+  // functions of (trace, name, parent, index) — identical at any
+  // LEAF_THREADS because this runs only in serial phases, in
+  // deterministic response order.
+  spans[0].trace = p.trace;
+  spans[0].parent_id = p.parent_span;
+  spans[0].span_id =
+      obs::derive_span_id(p.trace, spans[0].name.c_str(), p.parent_span, 0);
+  std::uint64_t batch_span_id = 0;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    obs::TraceSpan& s = spans[i];
+    s.trace = p.trace;
+    const std::uint64_t parent =
+        (s.name == "shard-predict" && batch_span_id != 0) ? batch_span_id
+                                                          : spans[0].span_id;
+    s.parent_id = parent;
+    s.span_id = obs::derive_span_id(p.trace, s.name.c_str(), parent, i);
+    if (s.name == "batch") batch_span_id = s.span_id;
+  }
+  for (const obs::TraceSpan& s : spans) tracer_->write(s);
+  p.spans.clear();
 }
 
 void ServerCore::ingest(ConnId conn, std::span<const std::uint8_t> bytes,
@@ -127,22 +201,50 @@ void ServerCore::handle_frame(ConnId conn, const Frame& frame,
         admit_predict(conn, frame, sink);
         return;
       case MsgType::kScrapeMetrics: {
+        Pending p;
+        init_pending(p, conn, frame);
+        std::size_t decode_span = 0;
+        if (p.traced) decode_span = p.spans.begin("decode");
         const ScrapeRequest req = decode_body<ScrapeRequest>(frame);
-        respond(conn,
-                make_frame(MsgType::kScrapeOk, frame.request_id,
-                           ScrapeResponse{scrape_output(fleet_, req.json)}),
-                sink);
+        if (p.traced) p.spans.end(decode_span);
+        Frame resp =
+            make_frame(MsgType::kScrapeOk, frame.request_id,
+                       ScrapeResponse{scrape_output(fleet_, req.json)});
+        resp.version = p.version;
+        resp.trace = p.trace;
+        std::size_t respond_span = 0;
+        if (p.traced) respond_span = p.spans.begin("respond");
+        respond(conn, resp, sink);
+        if (p.traced) {
+          p.spans.end(respond_span);
+          p.spans.end(0);
+          flush_trace(p);
+        }
+        rpc_latency(p.type).observe(obs::monotonic_seconds() - p.arrival_s);
         return;
       }
-      case MsgType::kFleetStatus:
+      case MsgType::kFleetStatus: {
         if (!frame.payload.empty())
           throw ProtocolError(ErrorCode::kMalformed,
                               "fleet_status carries no body",
                               /*fatal=*/false);
-        respond(conn, make_frame(MsgType::kStatusOk, frame.request_id,
-                                 status()),
-                sink);
+        Pending p;
+        init_pending(p, conn, frame);
+        Frame resp =
+            make_frame(MsgType::kStatusOk, frame.request_id, status());
+        resp.version = p.version;
+        resp.trace = p.trace;
+        std::size_t respond_span = 0;
+        if (p.traced) respond_span = p.spans.begin("respond");
+        respond(conn, resp, sink);
+        if (p.traced) {
+          p.spans.end(respond_span);
+          p.spans.end(0);
+          flush_trace(p);
+        }
+        rpc_latency(p.type).observe(obs::monotonic_seconds() - p.arrival_s);
         return;
+      }
       default:
         return;  // unreachable: is_request filtered the rest
     }
@@ -151,62 +253,71 @@ void ServerCore::handle_frame(ConnId conn, const Frame& frame,
     // Per-message problem (bad body, trailing bytes): answer it and keep
     // the connection — the stream itself is still framed correctly.
     counter("leaf_net_malformed_frames_total").inc();
-    respond_error(conn, frame.request_id, e.code(), e.what(), sink);
+    respond_error(conn, frame.request_id, e.code(), e.what(), sink,
+                  frame.version, &frame.trace);
   }
 }
 
 void ServerCore::admit_predict(ConnId conn, const Frame& frame,
                                ResponseSink& sink) {
+  Pending p;
+  init_pending(p, conn, frame);
+  std::size_t decode_span = 0;
+  if (p.traced) decode_span = p.spans.begin("decode");
   PredictRequest req = decode_body<PredictRequest>(frame);
+  if (p.traced) p.spans.end(decode_span);
   if (frame.type == MsgType::kPredict && req.rows.rows() != 1)
     throw ProtocolError(ErrorCode::kMalformed,
                         "predict carries exactly one row (use batch_predict)",
                         /*fatal=*/false);
+  std::size_t admission_span = 0;
+  if (p.traced) {
+    admission_span = p.spans.begin("admission");
+    p.spans.annotate(admission_span,
+                     "\"shard\": " + std::to_string(req.shard) +
+                         ", \"rows\": " + std::to_string(req.rows.rows()));
+  }
+  const auto reject = [&](ErrorCode code, const std::string& message) {
+    if (p.traced) p.spans.end(admission_span);
+    finish_error(p, code, message, sink);
+  };
   if (req.shard >= fleet_->num_shards()) {
-    respond_error(conn, frame.request_id, ErrorCode::kBadShard,
-                  "shard " + std::to_string(req.shard) +
-                      " outside the fleet of " +
-                      std::to_string(fleet_->num_shards()),
-                  sink);
+    reject(ErrorCode::kBadShard, "shard " + std::to_string(req.shard) +
+                                     " outside the fleet of " +
+                                     std::to_string(fleet_->num_shards()));
     return;
   }
   if (req.rows.rows() == 0 ||
       req.rows.rows() > static_cast<std::size_t>(cfg_.max_batch_rows)) {
-    respond_error(conn, frame.request_id, ErrorCode::kOversized,
-                  "batch of " + std::to_string(req.rows.rows()) +
-                      " rows outside [1, " +
-                      std::to_string(cfg_.max_batch_rows) + "]",
-                  sink);
+    reject(ErrorCode::kOversized, "batch of " +
+                                      std::to_string(req.rows.rows()) +
+                                      " rows outside [1, " +
+                                      std::to_string(cfg_.max_batch_rows) +
+                                      "]");
     return;
   }
   if (!fleet_->shard_ready(req.shard)) {
-    respond_error(conn, frame.request_id, ErrorCode::kUnavailable,
-                  "shard " + std::to_string(req.shard) +
-                      " cannot serve predictions",
-                  sink);
+    reject(ErrorCode::kUnavailable, "shard " + std::to_string(req.shard) +
+                                        " cannot serve predictions");
     return;
   }
   const int want_cols = fleet_->shard_num_features(req.shard);
   if (static_cast<int>(req.rows.cols()) != want_cols) {
-    respond_error(conn, frame.request_id, ErrorCode::kMalformed,
-                  "shard " + std::to_string(req.shard) + " expects " +
-                      std::to_string(want_cols) + " features, got " +
-                      std::to_string(req.rows.cols()),
-                  sink);
+    reject(ErrorCode::kMalformed,
+           "shard " + std::to_string(req.shard) + " expects " +
+               std::to_string(want_cols) + " features, got " +
+               std::to_string(req.rows.cols()));
     return;
   }
   std::deque<Pending>& queue = shard_queues_[req.shard];
   if (queue.size() >= static_cast<std::size_t>(cfg_.queue_depth)) {
     counter("leaf_net_retries_total").inc();
-    respond_error(conn, frame.request_id, ErrorCode::kRetry,
-                  "shard " + std::to_string(req.shard) + " queue full (depth " +
-                      std::to_string(cfg_.queue_depth) + ")",
-                  sink);
+    reject(ErrorCode::kRetry,
+           "shard " + std::to_string(req.shard) + " queue full (depth " +
+               std::to_string(cfg_.queue_depth) + ")");
     return;
   }
-  Pending p;
-  p.conn = conn;
-  p.request_id = frame.request_id;
+  if (p.traced) p.spans.end(admission_span);
   p.rows = std::move(req.rows);
   p.arrival_ms = clock_->now_ms();
   p.deadline_ms =
@@ -228,10 +339,11 @@ std::size_t ServerCore::pump(ResponseSink& sink) {
     Matrix rows;  ///< requests' rows stacked: one predict pass
     std::vector<std::vector<std::uint8_t>> responses;  ///< one per request
     std::string error;  ///< non-empty: batch-wide predict failure
+    obs::SpanCollector spans;  ///< shard-private batch/shard-predict spans
   };
   const std::uint64_t now = clock_->now_ms();
   std::vector<Batch> batches(shard_queues_.size());
-  std::vector<std::pair<ConnId, Frame>> sheds;
+  std::vector<Pending> sheds;
   for (std::size_t shard = 0; shard < shard_queues_.size(); ++shard) {
     std::deque<Pending>& queue = shard_queues_[shard];
     Batch& batch = batches[shard];
@@ -240,13 +352,7 @@ std::size_t ServerCore::pump(ResponseSink& sink) {
       Pending& head = queue.front();
       if (head.deadline_ms != 0 && now > head.arrival_ms + head.deadline_ms) {
         counter("leaf_net_sheds_total").inc();
-        sheds.emplace_back(
-            head.conn,
-            make_frame(MsgType::kError, head.request_id,
-                       ErrorResponse{ErrorCode::kShed,
-                                     "deadline of " +
-                                         std::to_string(head.deadline_ms) +
-                                         "ms expired in queue"}));
+        sheds.push_back(std::move(head));
         queue.pop_front();
         continue;
       }
@@ -273,10 +379,25 @@ std::size_t ServerCore::pump(ResponseSink& sink) {
   par::parallel_for(batches.size(), [&](std::size_t shard) {
     Batch& batch = batches[shard];
     if (batch.requests.empty()) return;
+    // Batch + shard-predict spans live in the shard-private collector;
+    // ids are assigned and the spans flushed later, in serial phase 3.
+    const bool traced =
+        std::any_of(batch.requests.begin(), batch.requests.end(),
+                    [](const Pending& p) { return p.traced; });
+    std::size_t batch_span = 0;
+    if (traced) {
+      batch_span = batch.spans.begin("batch", static_cast<int>(shard) + 1);
+      batch.spans.annotate(
+          batch_span, "\"shard\": " + std::to_string(shard) + ", \"rows\": " +
+                          std::to_string(batch.rows.rows()) +
+                          ", \"requests\": " +
+                          std::to_string(batch.requests.size()));
+    }
     try {
       const std::span<double> out =
           shard_scratch_[shard].acquire(batch.rows.rows());
-      fleet_->predict_shard(shard, batch.rows, out);
+      fleet_->predict_shard(shard, batch.rows, out,
+                            traced ? &batch.spans : nullptr);
       batch.responses.reserve(batch.requests.size());
       std::size_t offset = 0;
       for (const Pending& p : batch.requests) {
@@ -285,12 +406,15 @@ std::size_t ServerCore::pump(ResponseSink& sink) {
             out.begin() + static_cast<std::ptrdiff_t>(offset),
             out.begin() + static_cast<std::ptrdiff_t>(offset + p.rows.rows()));
         offset += p.rows.rows();
-        batch.responses.push_back(
-            encode_frame(make_frame(MsgType::kPredictOk, p.request_id, resp)));
+        Frame frame = make_frame(MsgType::kPredictOk, p.request_id, resp);
+        frame.version = p.version;
+        frame.trace = p.trace;
+        batch.responses.push_back(encode_frame(frame));
       }
     } catch (const std::exception& e) {
       batch.error = e.what();
     }
+    if (traced) batch.spans.end(batch_span);
   });
 
   // Phase 3 (serial): emit in deterministic (shard, arrival) order, then
@@ -302,23 +426,37 @@ std::size_t ServerCore::pump(ResponseSink& sink) {
     counter("leaf_net_batches_total").inc();
     batch_rows_histogram().observe(static_cast<double>(batch.rows.rows()));
     for (std::size_t i = 0; i < batch.requests.size(); ++i) {
-      const Pending& p = batch.requests[i];
+      Pending& p = batch.requests[i];
+      if (p.traced)  // graft the shard's batch spans into this request
+        for (const obs::TraceSpan& s : batch.spans.spans())
+          p.spans.mutable_spans().push_back(s);
       if (!batch.error.empty()) {
-        respond_error(p.conn, p.request_id, ErrorCode::kInternal,
-                      "shard predict failed: " + batch.error, sink);
+        finish_error(p, ErrorCode::kInternal,
+                     "shard predict failed: " + batch.error, sink);
       } else {
+        std::size_t respond_span = 0;
+        if (p.traced) respond_span = p.spans.begin("respond");
         ++requests_served_;
         counter("leaf_net_responses_total",
                 obs::label("type", to_string(MsgType::kPredictOk)))
             .inc();
         counter("leaf_net_bytes_tx_total").inc(batch.responses[i].size());
         sink.send(p.conn, std::move(batch.responses[i]));
+        if (p.traced) {
+          p.spans.end(respond_span);
+          p.spans.end(0);
+          flush_trace(p);
+        }
+        rpc_latency(p.type).observe(obs::monotonic_seconds() - p.arrival_s);
       }
       ++answered;
     }
   }
-  for (auto& [conn, frame] : sheds) {
-    respond(conn, frame, sink);
+  for (Pending& p : sheds) {
+    finish_error(p, ErrorCode::kShed,
+                 "deadline of " + std::to_string(p.deadline_ms) +
+                     "ms expired in queue",
+                 sink);
     ++answered;
   }
   obs::MetricsRegistry::global()

@@ -41,6 +41,16 @@
 // deterministic, so a loopback schedule produces byte-identical
 // responses and identical non-wall-clock `leaf_net_*` telemetry at any
 // LEAF_THREADS setting.
+//
+// Tracing: with set_tracer() attached, every sampled request carries a
+// span tree — request → decode / admission / batch / shard-predict /
+// respond — into the tracer's Chrome trace-event file.  Trace ids come
+// off the wire (LNET v2) or are derived from (connection, request id);
+// span ids are assigned, and spans flushed, only from the serial phases
+// in deterministic response order, so span topology and counts are a
+// pure function of the request schedule.  Only the Chrome "ts"/"dur"
+// keys read the wall clock.  Responses echo the request's protocol
+// version (a v1 client gets v1 bytes back) and its trace id.
 #pragma once
 
 #include <cstdint>
@@ -140,6 +150,12 @@ class ServerCore {
   /// Builds the kStatusOk body for the current fleet state.
   StatusResponse status() const;
 
+  /// Attaches (or detaches, with nullptr) the distributed-tracing sink.
+  /// The tracer must outlive the core; it is only written from the
+  /// serial ingest/pump phases.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Pending {
     ConnId conn = 0;
@@ -148,6 +164,13 @@ class ServerCore {
     std::uint64_t arrival_ms = 0;
     std::uint32_t deadline_ms = 0;  ///< 0 = none
     std::uint64_t seq = 0;          ///< global arrival order
+    MsgType type = MsgType::kPredict;
+    std::uint32_t version = kProtocolVersion;  ///< response echoes this
+    obs::TraceId trace{};           ///< wire trace id or derived
+    std::uint64_t parent_span = 0;  ///< caller's span id off the wire
+    bool traced = false;            ///< tracer attached AND id sampled
+    double arrival_s = 0.0;         ///< for the latency percentile series
+    obs::SpanCollector spans;       ///< request/decode/admission/respond
   };
   struct Conn {
     FrameDecoder decoder;
@@ -158,7 +181,19 @@ class ServerCore {
   void admit_predict(ConnId conn, const Frame& frame, ResponseSink& sink);
   void respond(ConnId conn, const Frame& frame, ResponseSink& sink);
   void respond_error(ConnId conn, std::uint64_t request_id, ErrorCode code,
-                     const std::string& message, ResponseSink& sink);
+                     const std::string& message, ResponseSink& sink,
+                     std::uint32_t version = kProtocolVersion,
+                     const obs::TraceId* trace = nullptr);
+  /// Fills a Pending's trace/version context from the request frame and —
+  /// when the request is sampled — opens its root "request" span.
+  void init_pending(Pending& p, ConnId conn, const Frame& frame);
+  /// Answers a Pending with a typed error, closing and flushing its span
+  /// tree and recording the per-type latency percentile.
+  void finish_error(Pending& p, ErrorCode code, const std::string& message,
+                    ResponseSink& sink);
+  /// Assigns deterministic span ids to a sampled Pending's collected
+  /// spans and writes them to the tracer.  Serial phases only.
+  void flush_trace(Pending& p);
 
   serve::FleetRuntime* fleet_;
   NetConfig cfg_;
@@ -169,6 +204,7 @@ class ServerCore {
   std::vector<simd::AlignedBuffer> shard_scratch_; ///< predict output arenas
   std::uint64_t next_seq_ = 0;
   std::uint64_t requests_served_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Scrape-output selection shared by leafctl (both modes) and the RPC

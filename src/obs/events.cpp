@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 
 #include "common/calendar.hpp"
+#include "io/snapshot.hpp"
 #include "obs/metrics.hpp"
 
 namespace leaf::obs {
@@ -24,6 +26,9 @@ const char* to_string(EventKind k) {
     case EventKind::kBreakerOpen: return "breaker_open";
     case EventKind::kBreakerHalfOpen: return "breaker_half_open";
     case EventKind::kBreakerClose: return "breaker_close";
+    case EventKind::kSloBurnWarning: return "slo-burn-warning";
+    case EventKind::kSloBurnCritical: return "slo-burn-critical";
+    case EventKind::kSloRecovered: return "slo-recovered";
   }
   return "?";
 }
@@ -117,6 +122,21 @@ void EventLog::load(io::Deserializer& in) {
     e.seconds = in.get_f64();
   }
   events_ = std::move(events);
+}
+
+std::uint64_t EventLog::write_jsonl(const std::string& path,
+                                    bool with_timing) const {
+  return write_jsonl(path, events_, with_timing);
+}
+
+std::uint64_t EventLog::write_jsonl(const std::string& path,
+                                    const std::vector<Event>& events,
+                                    bool with_timing) {
+  const std::string jsonl = to_jsonl(events, with_timing);
+  return io::SnapshotWriter::write_bytes(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(jsonl.data()),
+                jsonl.size()));
 }
 
 std::vector<Event> EventLog::merge(const std::vector<const EventLog*>& logs) {

@@ -42,11 +42,15 @@ enum class EventKind : std::uint8_t {
   kBreakerOpen = 11,     ///< retrain circuit breaker tripped OPEN
   kBreakerHalfOpen = 12, ///< cooldown elapsed; probe retrain allowed
   kBreakerClose = 13,    ///< probe succeeded; breaker back to CLOSED
+  // SLO burn-rate watchdog (obs::SloWatchdog).
+  kSloBurnWarning = 14,  ///< a burn rate crossed the warning fraction
+  kSloBurnCritical = 15, ///< a burn rate crossed its critical threshold
+  kSloRecovered = 16,    ///< all burn rates back under thresholds
 };
 
 /// Highest valid EventKind value (snapshot loaders validate against it).
 inline constexpr std::uint8_t kMaxEventKind =
-    static_cast<std::uint8_t>(EventKind::kBreakerClose);
+    static_cast<std::uint8_t>(EventKind::kSloRecovered);
 
 const char* to_string(EventKind k);
 
@@ -82,6 +86,18 @@ class EventLog {
   /// Snapshot support (leaf::io).
   void save(io::Serializer& out) const;
   void load(io::Deserializer& in);
+
+  /// Writes the JSONL rendering to `path` with the snapshot writer's
+  /// tmp+rename discipline: an unwritable path or a write that faults
+  /// mid-line throws io::SnapshotError and leaves neither a truncated
+  /// file under `path` nor `.tmp` litter — a partial event log that
+  /// parses as a shorter run is worse than no file.  Returns the byte
+  /// count written.
+  std::uint64_t write_jsonl(const std::string& path,
+                            bool with_timing = true) const;
+  static std::uint64_t write_jsonl(const std::string& path,
+                                   const std::vector<Event>& events,
+                                   bool with_timing);
 
   /// Merges shard logs into one deterministic stream: stable sort by
   /// (day, shard), preserving each log's insertion order within a day.

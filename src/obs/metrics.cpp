@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -100,6 +102,70 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+LatencyHistogram::LatencyHistogram()
+    : buckets_(new std::atomic<std::uint64_t>[kBucketCount]) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets_[i].store(0);
+}
+
+std::size_t LatencyHistogram::index_of(std::uint64_t ns) {
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+  // v ∈ [2^e, 2^(e+1)): keep the top kSubBits+1 significant bits; the
+  // mantissa m = v >> (e - kSubBits) lands in [kSubBuckets, 2*kSubBuckets).
+  const int e = std::bit_width(ns) - 1;  // e >= kSubBits here
+  const std::uint64_t m = ns >> (e - kSubBits);
+  return static_cast<std::size_t>(e - kSubBits) * kSubBuckets +
+         static_cast<std::size_t>(m);
+}
+
+std::uint64_t LatencyHistogram::representative_ns(std::size_t idx) {
+  if (idx < kSubBuckets) return idx;  // exact buckets
+  const std::size_t shift = idx / kSubBuckets - 1;
+  const std::uint64_t m = kSubBuckets + idx % kSubBuckets;
+  const std::uint64_t lo = m << shift;
+  const std::uint64_t half = shift == 0 ? 0 : (std::uint64_t{1} << (shift - 1));
+  return lo + half;
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  if constexpr (!kCompiledIn) {
+    (void)ns;
+    return;
+  }
+  buckets_[index_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::observe(double seconds) {
+  if (!(seconds > 0.0)) seconds = 0.0;
+  record_ns(static_cast<std::uint64_t>(std::llround(seconds * 1e9)));
+}
+
+double LatencyHistogram::quantile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank)
+      return static_cast<double>(representative_ns(i)) * 1e-9;
+  }
+  return static_cast<double>(representative_ns(kBucketCount - 1)) * 1e-9;
+}
+
+void LatencyHistogram::reset() {
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
@@ -127,6 +193,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[{name, labels}];
   if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::latency(const std::string& name,
+                                           const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = latencies_[{name, labels}];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
   return *slot;
 }
 
@@ -179,6 +253,26 @@ std::string MetricsRegistry::scrape() const {
     out += prom_series(key.first + "_count", key.second) + " " +
            fmt_value(static_cast<double>(h->count())) + "\n";
   }
+  // Latency summaries: every line (quantiles, _sum, _count) belongs to a
+  // `_seconds` series, so the whole family is masked by name.  The
+  // quantile labels use the short spelling ("0.99", not a 17-digit
+  // round-trip) — they are identifiers, not measurements.
+  static const char* const kQuantileNames[] = {"0.5", "0.9", "0.99", "0.999"};
+  static const double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+  for (const auto& [key, lh] : latencies_) {
+    type_line(key.first, "summary");
+    for (std::size_t qi = 0; qi < 4; ++qi) {
+      const double q = kQuantiles[qi];
+      const std::string ql = label("quantile", kQuantileNames[qi]);
+      out += key.first + "{" +
+             (key.second.empty() ? ql : key.second + "," + ql) + "} " +
+             fmt_value(lh->quantile(q)) + "\n";
+    }
+    out += prom_series(key.first + "_sum", key.second) + " " +
+           fmt_value(lh->sum_seconds()) + "\n";
+    out += prom_series(key.first + "_count", key.second) + " " +
+           fmt_value(static_cast<double>(lh->count())) + "\n";
+  }
   // Span sites: the call count is a logical metric; the duration series
   // carry `_seconds` so determinism checks mask them by name.
   for (const auto& [name, site] : spans_) {
@@ -230,6 +324,19 @@ std::string MetricsRegistry::scrape_json() const {
     out += "], \"count\": " + fmt_value(static_cast<double>(h->count())) +
            ", \"sum_seconds\": " + fmt_value(h->sum()) + "}";
   }
+  static const char* const kQuantileNames[] = {"0.5", "0.9", "0.99", "0.999"};
+  static const double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+  for (const auto& [key, lh] : latencies_) {
+    head(key, "summary");
+    out += ", \"quantiles\": {";
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (i > 0) out += ", ";
+      out += std::string("\"") + kQuantileNames[i] +
+             "\": " + fmt_value(lh->quantile(kQuantiles[i]));
+    }
+    out += "}, \"count\": " + fmt_value(static_cast<double>(lh->count())) +
+           ", \"sum_seconds\": " + fmt_value(lh->sum_seconds()) + "}";
+  }
   out += "], \"spans\": [";
   first = true;
   for (const auto& [name, site] : spans_) {
@@ -249,6 +356,7 @@ void MetricsRegistry::reset_values() {
   for (auto& [key, c] : counters_) c->reset();
   for (auto& [key, g] : gauges_) g->reset();
   for (auto& [key, h] : histograms_) h->reset();
+  for (auto& [key, lh] : latencies_) lh->reset();
   for (auto& [name, s] : spans_) s->reset();
 }
 
@@ -256,8 +364,15 @@ std::string label(const std::string& key, const std::string& value) {
   std::string escaped;
   escaped.reserve(value.size());
   for (char c : value) {
-    if (c == '"' || c == '\\') escaped += '\\';
-    escaped += c;
+    // The exposition format escapes backslash, double-quote, and
+    // line-feed inside label values; a raw '\n' would split the sample
+    // line and corrupt every scrape that follows it.
+    if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
   }
   return key + "=\"" + escaped + "\"";
 }

@@ -1,0 +1,143 @@
+// leaf::obs — deterministic distributed tracing for the serving plane.
+//
+// A trace follows one RPC request through the server: decode → admission
+// → batch → shard-predict → respond.  The pieces:
+//
+//   * TraceId        — 16 opaque bytes carried in every LNET v2 frame.
+//                      Clients may mint their own; a server derives one
+//                      deterministically from (connection, request-id)
+//                      when the frame carries zeros, so the id — and with
+//                      it the sampling decision and the whole span tree —
+//                      is a pure function of the logical request schedule:
+//                      bit-identical at any LEAF_THREADS and across a
+//                      SIGKILL + --resume cycle.
+//   * TraceSpan      — one node of the tree.  Identity (span id, parent
+//                      id, name, tid, args) is logical; only `ts_us` /
+//                      `dur_us` read the wall clock, and they are emitted
+//                      as the Chrome-mandated "ts"/"dur" keys, which
+//                      determinism checks strip by name — the same
+//                      contract the `_seconds` metrics already obey.
+//   * SpanCollector  — a small per-request (or per-batch) buffer of spans
+//                      opened/closed while work is in flight.  Collectors
+//                      are private to one logical unit (a Pending request,
+//                      a per-shard batch), so the parallel phase of the
+//                      net pump can time spans without synchronization;
+//                      the serial phase assigns ids and flushes them in
+//                      deterministic response order.
+//   * Tracer         — single-writer JSONL sink in Chrome trace-event
+//                      array format (catapult / Perfetto loadable).  The
+//                      footer is written on clean close; a SIGKILL leaves
+//                      a truncated-but-loadable array, matching the
+//                      snapshot story (crashes lose the tail, never the
+//                      file's validity as evidence).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace leaf::obs {
+
+using TraceId = std::array<std::uint8_t, 16>;
+
+/// True when every byte is zero (the wire format's "no trace attached").
+bool trace_is_zero(const TraceId& id);
+
+/// 32 lowercase hex characters.
+std::string trace_hex(const TraceId& id);
+
+/// 16 lowercase hex characters for a span id.
+std::string span_hex(std::uint64_t id);
+
+/// Deterministic trace id for a request that arrived without one: a pure
+/// function of (connection id, request id), never of wall clock or thread
+/// scheduling.  Never all-zero.
+TraceId derive_trace_id(std::uint64_t conn, std::uint64_t request_id);
+
+/// Deterministic span id: a pure function of (trace, site name, parent
+/// span, per-request index).  Never zero (zero means "no parent").
+std::uint64_t derive_span_id(const TraceId& trace, const char* name,
+                             std::uint64_t parent, std::uint64_t index);
+
+/// FNV-1a over the trace bytes; the sampling hash.
+std::uint64_t trace_hash(const TraceId& id);
+
+/// One node of a span tree.  `args` is a pre-rendered JSON fragment of
+/// extra key/value pairs (e.g. `"shard": 3, "rows": 2`), empty for none.
+struct TraceSpan {
+  std::string name;
+  TraceId trace{};
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root of the trace
+  int tid = 0;                  // logical lane (shard index; 0 = driver)
+  std::uint64_t ts_us = 0;      // wall-clock (masked: Chrome "ts")
+  std::uint64_t dur_us = 0;     // wall-clock (masked: Chrome "dur")
+  std::string args;
+};
+
+/// Scratch buffer of in-flight spans for one logical unit of work.  Not
+/// thread-safe by design: ownership is the synchronization (one collector
+/// per request / per-shard batch).
+class SpanCollector {
+ public:
+  /// Opens a timed span and returns its index.
+  std::size_t begin(std::string name, int tid = 0);
+  /// Closes span `idx` (sets its duration from the monotonic clock).
+  void end(std::size_t idx);
+  /// Attaches a JSON args fragment to span `idx`.
+  void annotate(std::size_t idx, std::string args);
+
+  bool empty() const { return spans_.empty(); }
+  void clear() { spans_.clear(); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  std::vector<TraceSpan>& mutable_spans() { return spans_; }
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+/// Single-writer Chrome trace-event sink.  Open/first-write emits the
+/// array header; `close()` (or destruction) the footer.  Callers flush
+/// spans only from serial code (the net pump's response phase), so the
+/// internal mutex is belt-and-braces, not a throughput feature.
+class Tracer {
+ public:
+  /// `sample_every` = N keeps every trace whose id hashes to 0 mod N
+  /// (1 = everything).  The decision is a pure function of the trace id.
+  explicit Tracer(std::string path, std::uint64_t sample_every = 1);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// False when the sink could not be opened or a write failed; the
+  /// failure reason is in `error()`.  Callers must fail loudly.
+  bool ok() const;
+  std::string error() const;
+
+  /// Deterministic sampling decision for one trace.
+  bool sampled(const TraceId& trace) const;
+
+  /// Appends one span record.  Also bumps the logical
+  /// `leaf_trace_spans_total` counter.
+  void write(const TraceSpan& span);
+
+  /// Writes the array footer and closes the file.  Idempotent.
+  void close();
+
+  std::uint64_t spans_written() const { return spans_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t sample_every_;
+  mutable std::mutex mu_;
+  std::FILE* f_ = nullptr;
+  bool first_ = true;
+  std::uint64_t spans_written_ = 0;
+  std::string error_;
+};
+
+}  // namespace leaf::obs

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <optional>
 #include <thread>
@@ -367,6 +368,10 @@ struct FleetRuntime::Shard {
           obs::enabled() ? obs::monotonic_seconds() - retrain_t0 : 0.0;
       retrain_ctr.inc();
       retrain_latency.observe(secs);
+      obs::MetricsRegistry::global()
+          .latency("leaf_shard_retrain_seconds",
+                   obs::label("shard", std::to_string(index)))
+          .observe(secs);
       emit(obs::EventKind::kRetrain,
            "train_rows=" + std::to_string(train.size()), secs);
     }
@@ -665,7 +670,14 @@ void FleetRuntime::step_shard(Shard& shard, std::uint64_t fleet_step) {
                            std::to_string(fleet_step) + ")");
       storm = chaos_.retrain_storm(shard.index, fleet_step);
     }
-    shard.step(storm);
+    {
+      const obs::Stopwatch sw;
+      shard.step(storm);
+      obs::MetricsRegistry::global()
+          .latency("leaf_shard_step_seconds",
+                   obs::label("shard", std::to_string(shard.index)))
+          .observe(sw.seconds());
+    }
     if (shard.health == ShardHealth::kFaulted) {
       shard.health = ShardHealth::kHealthy;
       shard.consecutive_failures = 0;
@@ -815,6 +827,7 @@ std::uint64_t FleetRuntime::snapshot(const std::string& dir) {
   reg.counter("leaf_snapshots_total").inc();
   reg.histogram("leaf_snapshot_write_seconds", obs::latency_buckets())
       .observe(secs);
+  reg.latency("leaf_snapshot_seconds").observe(secs);
   reg.gauge("leaf_snapshot_bytes").set(static_cast<double>(written));
   // Operational message: deliberately NOT an event-log entry, or a resumed
   // run's event stream could never match an uninterrupted one.
@@ -1017,6 +1030,38 @@ void FleetRuntime::predict_shard(std::size_t i, const Matrix& X,
   shard.model->predict_into(X, out);
 }
 
+void FleetRuntime::predict_shard(std::size_t i, const Matrix& X,
+                                 std::span<double> out,
+                                 obs::SpanCollector* spans) const {
+  std::size_t span = 0;
+  if (spans != nullptr) {
+    span = spans->begin("shard-predict", static_cast<int>(i) + 1);
+    spans->annotate(span, "\"shard\": " + std::to_string(i) +
+                              ", \"rows\": " + std::to_string(X.rows()));
+  }
+  const obs::Stopwatch sw;
+  predict_shard(i, X, out);
+  obs::MetricsRegistry::global()
+      .latency("leaf_shard_predict_seconds",
+               obs::label("shard", std::to_string(i)))
+      .observe(sw.seconds());
+  if (spans != nullptr) spans->end(span);
+}
+
+double FleetRuntime::current_avg_nrmse() const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    if (shard->result.nrmse.empty()) continue;
+    const double err = shard->result.nrmse.back();
+    if (!std::isfinite(err)) continue;
+    acc += err;
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return acc / static_cast<double>(n);
+}
+
 std::vector<obs::Event> FleetRuntime::merged_events() const {
   std::vector<const obs::EventLog*> logs;
   logs.reserve(shards_.size());
@@ -1030,8 +1075,9 @@ std::string FleetRuntime::events_jsonl(bool with_timing) const {
 
 std::vector<obs::Event> FleetRuntime::supervision_events() const {
   std::vector<const obs::EventLog*> logs;
-  logs.reserve(shards_.size());
+  logs.reserve(shards_.size() + 1);
   for (const auto& shard : shards_) logs.push_back(&shard->supervision);
+  if (extra_supervision_ != nullptr) logs.push_back(extra_supervision_);
   return obs::EventLog::merge(logs);
 }
 

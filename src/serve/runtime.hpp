@@ -56,6 +56,7 @@
 #include "io/snapshot.hpp"
 #include "models/factory.hpp"
 #include "obs/events.hpp"
+#include "obs/trace.hpp"
 
 namespace leaf::serve {
 
@@ -223,6 +224,18 @@ class FleetRuntime {
   std::vector<obs::Event> supervision_events() const;
   std::string supervision_jsonl(bool with_timing = true) const;
 
+  /// Merges an external supervision log (e.g. the SLO watchdog's burn
+  /// events) into supervision_events().  The log must outlive the
+  /// runtime; pass nullptr to detach.
+  void attach_supervision_log(const obs::EventLog* log) {
+    extra_supervision_ = log;
+  }
+
+  /// Fleet-average of each shard's most recent per-day NRMSE — the model-
+  /// quality signal the SLO watchdog's nrmse-regression burn rate tracks.
+  /// NaN until at least one shard has scored a day.
+  double current_avg_nrmse() const;
+
   /// Prometheus text scrape: fleet-state-derived `leaf_fleet_*` series
   /// (deterministic and resume-safe, since they are recomputed from shard
   /// state) followed — when `include_process` — by the process-global
@@ -251,6 +264,14 @@ class FleetRuntime {
   void predict_shard(std::size_t i, const Matrix& X,
                      std::span<double> out) const;
 
+  /// Traced variant: opens a "shard-predict" child span in `spans` (when
+  /// non-null) around the model pass and records the per-shard predict
+  /// latency percentile histogram.  The collector is caller-owned and
+  /// shard-private, so this stays safe from the net pump's parallel
+  /// phase.
+  void predict_shard(std::size_t i, const Matrix& X, std::span<double> out,
+                     obs::SpanCollector* spans) const;
+
  private:
   struct Shard;
 
@@ -271,6 +292,7 @@ class FleetRuntime {
   std::uint64_t steps_run_ = 0;
   std::uint64_t snapshot_gen_ = 0;   ///< last generation written/restored
   int snapshot_fallbacks_ = 0;       ///< rollbacks in the last restore
+  const obs::EventLog* extra_supervision_ = nullptr;  ///< SLO watchdog etc.
 };
 
 }  // namespace leaf::serve

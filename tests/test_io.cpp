@@ -235,8 +235,10 @@ TEST(Snapshot, WriteFailurePreservesPreviousSnapshot) {
     leaf::testing::expect_snapshot_error([&] { second.write_file(path); },
                                          "injected fault");
   }
-  // The old generation under the final name is untouched.
-  Deserializer in = SnapshotReader::from_file(path).section("s");
+  // The old generation under the final name is untouched.  (The reader
+  // must outlive the Deserializer, which views its buffer.)
+  const SnapshotReader reader = SnapshotReader::from_file(path);
+  Deserializer in = reader.section("s");
   EXPECT_EQ(in.get_u64(), 1u);
 }
 

@@ -3,6 +3,11 @@
 // telemetry identical at any LEAF_THREADS).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -10,6 +15,7 @@
 #include "core/experiment.hpp"
 #include "data/generator.hpp"
 #include "io/serializer.hpp"
+#include "io/snapshot.hpp"
 #include "models/factory.hpp"
 #include "obs/events.hpp"
 #include "obs/log.hpp"
@@ -147,22 +153,33 @@ TEST(ObsRegistry, JsonScrapeMentionsMetricsAndSpans) {
 TEST(ObsRegistry, JsonScrapeEscapesLabelsAndNames) {
   if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
   MetricsRegistry& reg = MetricsRegistry::global();
-  // label() escapes its value for the Prometheus text form (only `"` and
-  // `\`); scrape_json() must then JSON-escape whatever ends up in the
-  // label body, plus control characters the text form never sees.
+  // label() escapes its value for the Prometheus text form (`"`, `\`,
+  // and line-feed); scrape_json() must then JSON-escape whatever ends
+  // up in the label body, plus control characters like tab that the
+  // text form passes through raw.
   reg.counter("test_obs_escape_total", label("kpi", "D\"Vol")).inc();
   reg.counter("test_obs_escape_total", label("kpi", "a\\b")).inc();
-  reg.counter("test_obs_escape_total", "raw=\"line\nbreak\ttab\"").inc();
+  reg.counter("test_obs_escape_total", label("raw", "line\nbreak\ttab")).inc();
   const std::string json = reg.scrape_json();
 
   // label() turned D"Vol into D\"Vol; JSON re-escapes both characters.
   EXPECT_NE(json.find("kpi=\\\"D\\\\\\\"Vol\\\""), std::string::npos);
   // The backslash from label() doubles, then doubles again in JSON.
   EXPECT_NE(json.find("a\\\\\\\\b"), std::string::npos);
-  // Control characters come out as escape sequences, never raw.
+  // Control characters come out as escape sequences, never raw: the
+  // line-feed became a literal backslash-n in the text form, and the
+  // raw tab is JSON-escaped by scrape_json().
   EXPECT_NE(json.find("\\n"), std::string::npos);
   EXPECT_NE(json.find("\\t"), std::string::npos);
   EXPECT_EQ(json.find('\n', json.find("raw=")), std::string::npos);
+  // The text form must also hold the sample on a single line.
+  const std::string text = reg.scrape();
+  const std::size_t raw_at = text.find("raw=");
+  ASSERT_NE(raw_at, std::string::npos);
+  const std::size_t eol = text.find('\n', raw_at);
+  ASSERT_NE(eol, std::string::npos);
+  EXPECT_NE(text.find("line\\nbreak", raw_at), std::string::npos);
+  EXPECT_LT(text.find("line\\nbreak", raw_at), eol);
 
   // Non-ASCII KPI names (UTF-8) pass through byte-for-byte: JSON strings
   // are UTF-8, so no \uXXXX mangling of multi-byte sequences.
@@ -191,6 +208,124 @@ TEST(ObsRegistry, JsonScrapeEscapesLabelsAndNames) {
   }
   EXPECT_FALSE(in_string);
   EXPECT_EQ(depth, 0);
+}
+
+// --- Prometheus text-format compliance audit ---------------------------------
+
+// Walks the full scrape and enforces the exposition-format rules a real
+// Prometheus server cares about, so a formatting regression in any series
+// (including ones registered by other tests in this binary) fails here
+// rather than in a dashboard.
+TEST(ObsRegistry, PrometheusScrapeCompliesWithTheTextFormat) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("test_obs_audit_total").inc(2);
+  reg.gauge("test_obs_audit_gauge").set(1.5);
+  Histogram& h = reg.histogram("test_obs_audit_seconds", latency_buckets());
+  h.observe(0.0007);
+  h.observe(0.3);
+  h.observe(99.0);  // overflow: only the +Inf bucket catches it
+  reg.latency("test_obs_audit_latency_seconds").observe(0.125);
+
+  const std::string text = reg.scrape();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  // A bucket run is one (histogram name, label set) series; the `le`
+  // label itself is stripped so the run's key matches its _count line.
+  const auto series_key = [](const std::string& name,
+                             const std::string& labels) {
+    std::string rest = labels;
+    const std::size_t le = rest.find("le=\"");
+    if (le != std::string::npos) {
+      std::size_t end = rest.find('"', le + 4);
+      end = rest.find('"', end + 1);  // closing quote of the value
+      end = end == std::string::npos ? rest.size() : end + 1;
+      std::size_t begin = le;
+      if (begin > 0 && rest[begin - 1] == ',') --begin;       // mid/tail le
+      else if (end < rest.size() && rest[end] == ',') ++end;  // leading le
+      rest.erase(begin, end - begin);
+    }
+    return name + "|" + rest;
+  };
+
+  std::istringstream lines(text);
+  std::string line;
+  std::string bucket_key;  // (histogram, labels) run being walked
+  std::string bucket_family;
+  std::uint64_t prev_cumulative = 0;
+  std::uint64_t inf_value = 0;
+  bool saw_inf = false;
+  std::vector<std::string> audited_histograms;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in scrape";
+    if (line[0] == '#') {
+      // Only `# TYPE <name> <kind>` comments, with a known kind.
+      std::istringstream c(line);
+      std::string hash, kw, name, kind;
+      c >> hash >> kw >> name >> kind;
+      EXPECT_EQ(kw, "TYPE") << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" ||
+                  kind == "histogram" || kind == "summary")
+          << line;
+      continue;
+    }
+    // Sample lines: name{labels} value — name charset, balanced braces,
+    // a parseable numeric value.
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    std::size_t used = 0;
+    EXPECT_NO_THROW((void)std::stod(value, &used)) << line;
+    EXPECT_EQ(used, value.size()) << line;
+    const std::size_t brace = series.find('{');
+    const std::string name =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    for (char ch : name)
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+                  ch == ':')
+          << line;
+    if (brace != std::string::npos) EXPECT_EQ(series.back(), '}') << line;
+
+    // Histogram bucket discipline: cumulative counts, closing +Inf.
+    const std::string labels =
+        brace == std::string::npos
+            ? ""
+            : series.substr(brace + 1, series.size() - brace - 2);
+    const bool is_bucket = name.size() > 7 &&
+                           name.compare(name.size() - 7, 7, "_bucket") == 0;
+    if (is_bucket) {
+      EXPECT_NE(labels.find("le=\""), std::string::npos) << line;
+      const std::string family = name.substr(0, name.size() - 7);
+      const std::string key = series_key(family, labels);
+      if (key != bucket_key) {
+        bucket_key = key;
+        bucket_family = family;
+        prev_cumulative = 0;
+        saw_inf = false;
+      }
+      const std::uint64_t v = std::stoull(value);
+      EXPECT_GE(v, prev_cumulative) << "non-cumulative bucket: " << line;
+      prev_cumulative = v;
+      if (labels.find("le=\"+Inf\"") != std::string::npos) {
+        saw_inf = true;
+        inf_value = v;
+      }
+    } else if (!bucket_key.empty() && name == bucket_family + "_count" &&
+               series_key(bucket_family, labels) == bucket_key) {
+      // _count follows the buckets and equals the +Inf bucket.
+      EXPECT_TRUE(saw_inf) << "no le=\"+Inf\" bucket for " << bucket_key;
+      EXPECT_EQ(std::stoull(value), inf_value) << line;
+      audited_histograms.push_back(bucket_family);
+      bucket_key.clear();
+      bucket_family.clear();
+    }
+  }
+  // The audit actually exercised the histogram path.
+  EXPECT_NE(std::find(audited_histograms.begin(), audited_histograms.end(),
+                      "test_obs_audit_seconds"),
+            audited_histograms.end());
 }
 
 // --- event log --------------------------------------------------------------
@@ -257,6 +392,58 @@ TEST(ObsEvents, MergeIsStableByDayThenShard) {
   EXPECT_EQ(merged[0].day, 50);
   EXPECT_EQ(merged[1].kind, EventKind::kDrift);
   EXPECT_EQ(merged[2].kind, EventKind::kRetrain);
+}
+
+TEST(ObsEvents, WriteJsonlRoundTripsThroughDisk) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  const std::string dir = ::testing::TempDir() + "leaf_obs_jsonl";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/events.jsonl";
+  EventLog log;
+  log.emit(sample_event());
+  const std::uint64_t bytes = log.write_jsonl(path, /*with_timing=*/false);
+  EXPECT_GT(bytes, 0u);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), log.to_jsonl(false));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsEvents, WriteJsonlToUnwritablePathThrowsAndLeavesNoLitter) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  const std::string dir = ::testing::TempDir() + "leaf_obs_jsonl_missing";
+  std::filesystem::remove_all(dir);  // the parent directory does not exist
+  const std::string path = dir + "/events.jsonl";
+  EventLog log;
+  log.emit(sample_event());
+  EXPECT_THROW(log.write_jsonl(path), io::SnapshotError);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(ObsEvents, WriteJsonlMidLineFaultThrowsAndCleansUpTheTemporary) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  const std::string dir = ::testing::TempDir() + "leaf_obs_jsonl_fault";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/events.jsonl";
+  EventLog log;
+  log.emit(sample_event());
+  log.emit(sample_event());
+  {
+    // Fault the write mid-line: a partial event log that parses as a
+    // shorter run is worse than no file, so the writer must throw and
+    // leave neither `path` nor `.tmp` litter behind.
+    io::ScopedWriteFault fault(/*after_bytes=*/10);
+    EXPECT_THROW(log.write_jsonl(path), io::SnapshotError);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // With the fault gone the same call succeeds — the failure was the
+  // injected I/O error, not state corruption.
+  EXPECT_GT(log.write_jsonl(path), 0u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ObsEvents, EmitIsNoOpWhenRuntimeDisabled) {

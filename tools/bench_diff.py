@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag wall-clock regressions.
+
+Every bench binary embeds the observability registry dump under the
+"metrics" key; the span sites inside it (`metrics.spans`) carry the
+per-section wall-clock totals (`total_seconds`).  This tool compares
+the sites shared by a baseline and a candidate run and exits non-zero
+when any shared section regressed by more than the threshold
+(default 10%).
+
+Sections below the noise floor (default 1 ms of baseline wall-clock)
+are reported but never fail the run: micro-sections jitter far more
+than 10% between otherwise identical runs.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.10] [--min-seconds 0.001]
+
+Intended as an advisory CI step: run the bench twice (or against a
+stored baseline artifact) and let the job surface the delta without
+blocking merges on shared-runner noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_spans(path):
+    """Return {site: total_seconds} for one BENCH_*.json file."""
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics", {})
+    spans = metrics.get("spans", [])
+    out = {}
+    for span in spans:
+        site = span.get("site")
+        if site is None:
+            continue
+        out[site] = float(span.get("total_seconds", 0.0))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="flag wall-clock regressions between two BENCH_*.json runs"
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional regression that fails the diff (default 0.10)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.001,
+        help="ignore sections whose baseline wall-clock is below this "
+        "(default 0.001 s — micro-sections are all jitter)",
+    )
+    args = parser.parse_args()
+
+    try:
+        base = load_spans(args.baseline)
+        cand = load_spans(args.candidate)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("bench_diff: no shared span sites between the two files",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'section':<32} {'baseline':>12} {'candidate':>12} {'delta':>9}")
+    for site in shared:
+        b, c = base[site], cand[site]
+        if b <= 0.0:
+            delta = "n/a"
+        else:
+            frac = (c - b) / b
+            delta = f"{frac:+8.1%}"
+            if frac > args.threshold and b >= args.min_seconds:
+                regressions.append((site, b, c, frac))
+        print(f"{site:<32} {b:>12.6f} {c:>12.6f} {delta:>9}")
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"\nonly in baseline:  {', '.join(only_base)}")
+    if only_cand:
+        print(f"only in candidate: {', '.join(only_cand)}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} section(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for site, b, c, frac in regressions:
+            print(f"  {site}: {b:.6f}s -> {c:.6f}s ({frac:+.1%})",
+                  file=sys.stderr)
+        return 1
+
+    print(f"\nOK: no shared section regressed more than {args.threshold:.0%} "
+          f"(noise floor {args.min_seconds}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
