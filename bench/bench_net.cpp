@@ -502,6 +502,63 @@ int main(int argc, char** argv) {
              "0", "0"});
   }
 
+  // ---- tsdb: telemetry store determinism + meta-drift storm golden --------
+  // A quiet stretch then an all-miss deadline storm, sampled into the
+  // fleet's telemetry store each tick.  The deadline-miss recording rule
+  // must fire (a telemetry-drift supervision event + a raised gauge), and
+  // the stored deterministic series must fingerprint identically at
+  // LEAF_THREADS=1 and 4.
+  std::uint64_t tsdb_drift_events = 0, tsdb_samples = 0;
+  int tsdb_drift_state = 0;
+  if (obs::kCompiledIn) {
+    const auto run = [&](int threads) {
+      par::set_threads(threads);
+      serve::FleetRuntime storm_fleet(ds, scale, make_specs(2));
+      storm_fleet.run_steps(1);
+      net::Loopback loop(storm_fleet);
+      net::LoopbackConnection& conn = loop.connect();
+      const int cols = storm_fleet.shard_num_features(0);
+      std::uint64_t id = 1;
+      for (int tick = 0; tick < 90; ++tick) {
+        const bool stormy = tick >= 45;
+        conn.send(net::make_frame(
+            net::MsgType::kPredict, id,
+            net::PredictRequest{0, stormy ? 5u : 0u, probe_rows(1, cols, id)}));
+        ++id;
+        if (stormy) loop.clock().advance_ms(50);  // expires while queued
+        loop.pump();
+        while (conn.receive().has_value()) {
+        }
+        storm_fleet.sample_telemetry();
+      }
+      std::uint64_t drift_events = 0;
+      for (const obs::Event& e : storm_fleet.supervision_events())
+        if (e.kind == obs::EventKind::kTelemetryDrift) ++drift_events;
+      return std::make_tuple(storm_fleet.telemetry().fingerprint(),
+                             storm_fleet.telemetry().samples_recorded(),
+                             drift_events,
+                             storm_fleet.telemetry_drift_state());
+    };
+    const auto [fp1, n1, ev1, state1] = run(1);
+    const auto [fp4, n4, ev4, state4] = run(4);
+    if (ev1 == 0 || state1 == 0)
+      return fail("tsdb: deadline storm never fired the meta-drift rule");
+    if (fp1 != fp4 || n1 != n4 || ev1 != ev4 || state1 != state4)
+      return fail("tsdb: stored series or drift goldens differ across threads");
+    tsdb_drift_events = ev1;
+    tsdb_samples = n1;
+    tsdb_drift_state = state1;
+    std::printf("%-12s threads 1 vs 4: samples=%llu drift_events=%llu "
+                "state=%d identical\n",
+                "tsdb", static_cast<unsigned long long>(tsdb_samples),
+                static_cast<unsigned long long>(tsdb_drift_events),
+                tsdb_drift_state);
+    csv.row({"tsdb", "1+4", "1", "0", std::to_string(tsdb_samples), "0",
+             std::to_string(tsdb_drift_events), "0", "0", "0"});
+  } else {
+    std::printf("%-12s skipped (-DLEAF_OBS=OFF)\n", "tsdb");
+  }
+
   std::ofstream json(bench::out_dir() + "/BENCH_net.json");
   json << "{\n"
        << "  \"admission\": {\"served\": " << golden_served
@@ -517,6 +574,10 @@ int main(int argc, char** argv) {
        << "  \"slo\": {\"criticals\": " << slo_criticals
        << ", \"recoveries\": " << slo_recoveries << ", \"final_state\": \""
        << slo_final_state << "\"},\n"
+       << "  \"tsdb\": {\"samples\": " << tsdb_samples
+       << ", \"drift_events\": " << tsdb_drift_events
+       << ", \"drift_state\": " << tsdb_drift_state
+       << ", \"identical\": true},\n"
        << "  \"metrics\": " << bench::metrics_json() << "\n}\n";
   par::set_threads(0);
   bench::require_ok(csv);

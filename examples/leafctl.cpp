@@ -48,13 +48,34 @@
 //
 //   leafctl query --connect HOST:PORT [--status] [--metrics [--json]]
 //                 [--slo]
+//                 [--series NAME [--labels SUBSTR] [--from N] [--to N]
+//                  [--resolution raw|10|100] [--max-series N]]
 //                 [--predict --shard N [--rows K] [--deadline-ms N]
 //                  [--seed N]]
 //
 // `--metrics` prints the server's scrape verbatim: Prometheus text by
 // default, the full JSON registry dump with `--json`.  `--slo` prints
 // the SLO slice only — the leaf_slo_state gauge and the latency summary
-// quantile lines (leaf_rpc_latency_seconds and friends).
+// quantile lines (leaf_rpc_latency_seconds and friends).  `--series`
+// range-queries the server's embedded telemetry store (leaf::tsdb) —
+// NAME is exact or a trailing-'*' prefix, steps are logical fleet-step
+// indices, and `--resolution 10|100` returns the downsampled
+// mean/min/max/count tiers instead of raw points.
+//
+// Top mode is a live fleet view — a periodic poll of status + scrape +
+// telemetry series over one connection:
+//
+//   leafctl top --connect HOST:PORT [--interval-ms N] [--iterations N]
+//
+// Each refresh prints fleet progress, per-shard health, throughput and
+// shed/deadline-miss deltas, the p99 RPC latency quantiles, the SLO and
+// telemetry-drift gauges, and sparkline trends of the recording-rule
+// series.  `--iterations N` stops after N refreshes (the CI smoke runs
+// one); the default polls until killed.
+//
+// `--events-out FILE` (classic and serve modes) writes the drift-event
+// JSONL; `--events-max-mb N` caps it with size-based rotation (newest
+// tail in FILE, older chunks in FILE.1 / FILE.2, oldest lines dropped).
 //
 // `--resume` with an empty or missing snapshot directory starts fresh
 // with a warning; genuinely malformed on-disk state exits with code 2.
@@ -65,12 +86,17 @@
 // Unknown flags are rejected with usage() and exit code 2 in all modes.
 // The LEAF_SCALE environment variable controls dataset size as usual.
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chaos/chaos.hpp"
@@ -101,7 +127,7 @@ void usage(const char* argv0) {
                "[--model MODEL] [--scheme SCHEME] [--seed N] [--stride N] "
                "[--train-window N] [--horizon N] [--csv FILE] [--threads N] "
                "[--snapshot-dir DIR] [--metrics-out FILE] [--events-out FILE] "
-               "[--list]\n"
+               "[--events-max-mb N] [--list]\n"
                "       %s serve [--dataset fixed|evolving] [--kpis A,B|all] "
                "[--model MODEL] [--scheme SCHEME] [--shards N] [--seed N] "
                "[--threads N] [--snapshot-every K] [--snapshot-dir DIR] "
@@ -109,24 +135,33 @@ void usage(const char* argv0) {
                "[--breaker-max-retrains N] [--breaker-window DAYS] "
                "[--breaker-cooldown DAYS] [--chaos SPEC] "
                "[--metrics-out FILE] [--events-out FILE] "
+               "[--events-max-mb N] "
                "[--summary-every N] [--listen HOST:PORT] "
                "[--serve-requests N] [--net-queue-depth N] "
                "[--net-max-batch N] [--net-deadline-ms N] "
                "[--trace-out FILE] [--trace-sample-every N] [--slo SPEC]\n"
                "       %s query --connect HOST:PORT [--status] "
-               "[--metrics [--json]] [--slo] [--predict --shard N "
+               "[--metrics [--json]] [--slo] [--series NAME "
+               "[--labels SUBSTR] [--from N] [--to N] "
+               "[--resolution raw|10|100] [--max-series N]] "
+               "[--predict --shard N "
                "[--rows K] [--deadline-ms N] [--seed N]]\n"
+               "       %s top --connect HOST:PORT [--interval-ms N] "
+               "[--iterations N]\n"
                "flags: --metrics-out writes a Prometheus text scrape "
                "(.json suffix: JSON); --events-out writes the drift-event "
-               "JSONL; --listen serves the leaf::net RPC protocol; "
+               "JSONL (--events-max-mb N rotates it across FILE FILE.1 "
+               "FILE.2); --listen serves the leaf::net RPC protocol; "
                "--trace-out records Chrome trace-event spans for sampled "
                "RPCs (--trace-sample-every N keeps every N-th trace); "
                "--slo SPEC arms the burn-rate watchdog (serve) / prints "
-               "the SLO scrape slice (query); query --metrics --json "
-               "dumps the full JSON registry; "
+               "the SLO scrape slice (query); query --series queries the "
+               "embedded telemetry store; query --metrics --json "
+               "dumps the full JSON registry; top polls a live fleet "
+               "view every --interval-ms; "
                "LEAF_LOG_LEVEL=error|warn|info|debug controls stderr "
                "verbosity\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
 }
 
 /// Writes `content` to `path`; false (with an error log) on failure.
@@ -145,6 +180,22 @@ bool write_text_file(const std::string& path, const std::string& content) {
 
 bool wants_json(const std::string& path) {
   return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
+/// Writes the drift-event JSONL, size-capped when `max_mb` > 0 (rotation
+/// across path / path.1 / path.2).  False (with an error log) on failure.
+bool write_events(const std::string& path,
+                  const std::vector<obs::Event>& events,
+                  std::uint64_t max_mb) {
+  try {
+    obs::EventLog::write_jsonl_rotated(path, events, /*with_timing=*/true,
+                                       max_mb * 1024 * 1024);
+  } catch (const io::SnapshotError& e) {
+    LEAF_LOG_ERROR("cannot write '%s': %s", path.c_str(), e.what());
+    return false;
+  }
+  LEAF_LOG_INFO("%zu event(s) written to %s", events.size(), path.c_str());
+  return true;
 }
 
 void list_options() {
@@ -258,6 +309,7 @@ struct CommonOpts {
   std::string snapshot_dir;
   std::string metrics_out;
   std::string events_out;
+  std::uint64_t events_max_mb = 0;  ///< 0 = uncapped
   std::uint64_t seed = 2024;
   int threads = -1;
 };
@@ -272,6 +324,7 @@ std::vector<FlagSpec> common_flag_table(CommonOpts& o) {
       {"--snapshot-dir", FlagKind::kString, &o.snapshot_dir},
       {"--metrics-out", FlagKind::kString, &o.metrics_out},
       {"--events-out", FlagKind::kString, &o.events_out},
+      {"--events-max-mb", FlagKind::kU64, &o.events_max_mb},
   };
 }
 
@@ -521,6 +574,8 @@ int run_serve(int argc, char** argv) {
     s.retries = retries - last_retries;
     s.shards = fleet.num_shards();
     s.quarantined = fleet.stats().shards_quarantined;
+    s.telemetry_drift =
+        static_cast<std::uint64_t>(fleet.telemetry_drift_state());
     s.nrmse = fleet.current_avg_nrmse();
     last_responses = responses;
     last_sheds = sheds;
@@ -552,6 +607,10 @@ int run_serve(int argc, char** argv) {
   // when no budget was set (a real server runs until killed).
   while (server != nullptr && !served_enough()) {
     server->poll_once(50);
+    // The fleet is frozen but the serving plane is not: keep sampling
+    // telemetry each idle tick so the net-plane series (and the
+    // meta-drift detectors watching them) track the query traffic.
+    fleet.sample_telemetry();
     watchdog_tick();
   }
   if (server != nullptr)
@@ -593,11 +652,10 @@ int run_serve(int argc, char** argv) {
     LEAF_LOG_INFO("final snapshot in %s", common.snapshot_dir.c_str());
   if (!common.metrics_out.empty() && !write_metrics(common.metrics_out, &fleet))
     return 1;
-  if (!common.events_out.empty()) {
-    if (!write_text_file(common.events_out, fleet.events_jsonl())) return 1;
-    LEAF_LOG_INFO("%zu drift events written to %s",
-                  fleet.merged_events().size(), common.events_out.c_str());
-  }
+  if (!common.events_out.empty() &&
+      !write_events(common.events_out, fleet.merged_events(),
+                    common.events_max_mb))
+    return 1;
   return 0;
 }
 
@@ -614,6 +672,12 @@ int run_query(int argc, char** argv) {
   int rows = 1;
   std::uint32_t deadline_ms = 0;
   std::uint64_t seed = 2024;
+  std::string series_name;
+  std::string series_labels;
+  std::string resolution = "raw";
+  std::uint64_t from_step = 0;
+  std::uint64_t to_step = ~0ULL;
+  std::uint32_t max_series = 16;
 
   const std::vector<FlagSpec> flags = {
       {"--connect", FlagKind::kString, &connect_addr},
@@ -626,6 +690,12 @@ int run_query(int argc, char** argv) {
       {"--rows", FlagKind::kInt, &rows},
       {"--deadline-ms", FlagKind::kU32, &deadline_ms},
       {"--seed", FlagKind::kU64, &seed},
+      {"--series", FlagKind::kString, &series_name},
+      {"--labels", FlagKind::kString, &series_labels},
+      {"--resolution", FlagKind::kString, &resolution},
+      {"--from", FlagKind::kU64, &from_step},
+      {"--to", FlagKind::kU64, &to_step},
+      {"--max-series", FlagKind::kU32, &max_series},
   };
   const int parse_rc = parse_args(argc, argv, 2, flags);
   if (parse_rc >= 0) return parse_rc;
@@ -634,9 +704,22 @@ int run_query(int argc, char** argv) {
     std::fprintf(stderr, "query requires --connect HOST:PORT\n");
     return 2;
   }
-  if (!do_status && !do_metrics && !do_slo && !do_predict) do_status = true;
+  const bool do_series = !series_name.empty();
+  if (!do_status && !do_metrics && !do_slo && !do_predict && !do_series)
+    do_status = true;
   if (shard < 0 || rows < 1) {
     std::fprintf(stderr, "--shard must be >= 0, --rows >= 1\n");
+    return 2;
+  }
+  std::uint8_t resolution_code = 0;
+  if (resolution == "raw" || resolution == "0") {
+    resolution_code = 0;
+  } else if (resolution == "10") {
+    resolution_code = 1;
+  } else if (resolution == "100") {
+    resolution_code = 2;
+  } else {
+    std::fprintf(stderr, "--resolution must be raw, 10, or 100\n");
     return 2;
   }
 
@@ -714,6 +797,48 @@ int run_query(int argc, char** argv) {
       }
     }
 
+    if (do_series) {
+      net::SeriesRequest req;
+      req.name = series_name;
+      req.labels_contains = series_labels;
+      req.start_step = from_step;
+      req.end_step = to_step;
+      req.resolution = resolution_code;
+      req.max_series = max_series;
+      const net::Frame resp = net::call(
+          client,
+          net::make_frame(net::MsgType::kQuerySeries, request_id++, req));
+      if (resp.type == net::MsgType::kError) {
+        const auto err = net::decode_body<net::ErrorResponse>(resp);
+        std::fprintf(stderr, "server error (%s): %s\n",
+                     net::to_string(err.code), err.message.c_str());
+        return 1;
+      }
+      const auto body = net::decode_body<net::SeriesResponse>(resp);
+      std::printf("%zu series (store at step %llu)%s\n", body.series.size(),
+                  static_cast<unsigned long long>(body.last_step),
+                  body.truncated ? ", truncated" : "");
+      for (const net::SeriesPoints& sp : body.series) {
+        std::printf("%s{%s} %s: %zu point(s)\n", sp.name.c_str(),
+                    sp.labels.c_str(),
+                    sp.resolution == 0   ? "raw"
+                    : sp.resolution == 1 ? "10-step"
+                                         : "100-step",
+                    sp.steps.size());
+        for (std::size_t i = 0; i < sp.steps.size(); ++i) {
+          if (sp.resolution == 0)
+            std::printf("  %8llu  %.6g\n",
+                        static_cast<unsigned long long>(sp.steps[i]),
+                        sp.values[i]);
+          else
+            std::printf("  %8llu  mean=%.6g min=%.6g max=%.6g count=%llu\n",
+                        static_cast<unsigned long long>(sp.steps[i]),
+                        sp.values[i], sp.min[i], sp.max[i],
+                        static_cast<unsigned long long>(sp.counts[i]));
+        }
+      }
+    }
+
     if (do_predict) {
       if (static_cast<std::size_t>(shard) >= status.shards.size()) {
         std::fprintf(stderr, "shard %d outside the fleet of %zu\n", shard,
@@ -750,6 +875,215 @@ int run_query(int argc, char** argv) {
   }
 }
 
+// --- top mode --------------------------------------------------------------
+
+/// First sample of `name` in a Prometheus text scrape (the line must
+/// start with the exact series name followed by '{' or ' ').  NaN when
+/// the series is absent.
+double scrape_value(const std::string& body, const std::string& name) {
+  std::size_t start = 0;
+  while (start < body.size()) {
+    const std::size_t nl = body.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? body.size() : nl;
+    if (end - start > name.size() &&
+        body.compare(start, name.size(), name) == 0 &&
+        (body[start + name.size()] == ' ' ||
+         body[start + name.size()] == '{')) {
+      const std::size_t sp = body.rfind(' ', end);
+      if (sp != std::string::npos && sp > start)
+        return std::strtod(body.c_str() + sp + 1, nullptr);
+    }
+    start = end + 1;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+/// Renders a value window as an 8-level block sparkline, scaled to the
+/// window's own min..max (a flat nonzero window renders mid-level).
+std::string sparkline(const std::vector<double>& values) {
+  static const char* const kLevels[] = {"▁", "▂", "▃", "▄",
+                                        "▅", "▆", "▇", "█"};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values)
+    if (std::isfinite(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  std::string out;
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      out += "·";
+      continue;
+    }
+    int idx = 0;
+    if (hi > lo)
+      idx = static_cast<int>((v - lo) / (hi - lo) * 7.0 + 0.5);
+    else if (v != 0.0)
+      idx = 3;
+    out += kLevels[std::clamp(idx, 0, 7)];
+  }
+  return out;
+}
+
+/// `leafctl top`: a periodic status + scrape + telemetry-series poll of a
+/// running server, rendered as a compact live fleet view.
+int run_top(int argc, char** argv) {
+  std::string connect_addr;
+  int interval_ms = 1000;
+  int iterations = 0;  // 0 = poll until killed
+
+  const std::vector<FlagSpec> flags = {
+      {"--connect", FlagKind::kString, &connect_addr},
+      {"--interval-ms", FlagKind::kInt, &interval_ms},
+      {"--iterations", FlagKind::kInt, &iterations},
+  };
+  const int parse_rc = parse_args(argc, argv, 2, flags);
+  if (parse_rc >= 0) return parse_rc;
+
+  if (connect_addr.empty()) {
+    std::fprintf(stderr, "top requires --connect HOST:PORT\n");
+    return 2;
+  }
+  if (interval_ms < 1) {
+    std::fprintf(stderr, "--interval-ms must be >= 1\n");
+    return 2;
+  }
+
+  try {
+    const auto [host, port] = net::parse_host_port(connect_addr);
+    net::TcpClient client(host, port);
+    std::uint64_t request_id = 1;
+    double prev_responses = std::numeric_limits<double>::quiet_NaN();
+    double prev_sheds = 0.0, prev_retries = 0.0;
+
+    for (int iter = 0; iterations == 0 || iter < iterations; ++iter) {
+      if (iter > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+
+      const net::Frame status_resp = net::call(
+          client, net::Frame{net::MsgType::kFleetStatus, request_id++, {}});
+      if (status_resp.type == net::MsgType::kError) {
+        const auto err = net::decode_body<net::ErrorResponse>(status_resp);
+        std::fprintf(stderr, "server error (%s): %s\n",
+                     net::to_string(err.code), err.message.c_str());
+        return 1;
+      }
+      const auto status = net::decode_body<net::StatusResponse>(status_resp);
+
+      const net::Frame scrape_resp = net::call(
+          client, net::make_frame(net::MsgType::kScrapeMetrics, request_id++,
+                                  net::ScrapeRequest{false}));
+      if (scrape_resp.type == net::MsgType::kError) {
+        const auto err = net::decode_body<net::ErrorResponse>(scrape_resp);
+        std::fprintf(stderr, "server error (%s): %s\n",
+                     net::to_string(err.code), err.message.c_str());
+        return 1;
+      }
+      const std::string scrape =
+          net::decode_body<net::ScrapeResponse>(scrape_resp).body;
+
+      net::SeriesRequest sreq;
+      sreq.name = "leaf_rule_*";
+      sreq.max_series = 8;
+      const net::Frame series_resp = net::call(
+          client,
+          net::make_frame(net::MsgType::kQuerySeries, request_id++, sreq));
+      net::SeriesResponse series;  // tolerate servers without a tsdb
+      if (series_resp.type == net::MsgType::kQuerySeriesOk)
+        series = net::decode_body<net::SeriesResponse>(series_resp);
+
+      const double responses = scrape_value(scrape, "leaf_net_responses_total");
+      const double sheds = scrape_value(scrape, "leaf_net_sheds_total");
+      const double retries = scrape_value(scrape, "leaf_net_retries_total");
+      const double slo_state = scrape_value(scrape, "leaf_slo_state");
+      const double drift_state =
+          scrape_value(scrape, "leaf_telemetry_drift_state");
+
+      std::size_t ready = 0, done = 0;
+      for (const net::ShardStatus& s : status.shards) {
+        ready += s.ready ? 1 : 0;
+        done += s.done ? 1 : 0;
+      }
+
+      if (iterations != 1)
+        std::printf("\x1b[2J\x1b[H");  // clear + home between refreshes
+      std::string refresh = std::to_string(iter + 1);
+      if (iterations > 0) refresh += "/" + std::to_string(iterations);
+      std::printf("leaf top — %s  refresh %s  interval %dms\n",
+                  connect_addr.c_str(), refresh.c_str(), interval_ms);
+      std::printf("fleet: step %llu, %zu shard(s) (%zu ready, %zu done)",
+                  static_cast<unsigned long long>(status.fleet_steps),
+                  status.shards.size(), ready, done);
+      if (std::isfinite(slo_state))
+        std::printf("  slo=%s",
+                    obs::to_string(static_cast<obs::SloWatchdog::State>(
+                        static_cast<int>(slo_state))));
+      if (std::isfinite(drift_state))
+        std::printf("  telemetry-drift=%d", static_cast<int>(drift_state));
+      std::printf("\n");
+
+      if (std::isfinite(responses)) {
+        std::printf("net:   %.0f response(s)", responses);
+        if (std::isfinite(prev_responses)) {
+          const double dt = static_cast<double>(interval_ms) / 1000.0;
+          std::printf("  qps %.1f  shed/s %.1f  retry/s %.1f",
+                      (responses - prev_responses) / dt,
+                      (sheds - prev_sheds) / dt,
+                      (retries - prev_retries) / dt);
+        }
+        std::printf("\n");
+        prev_responses = responses;
+        prev_sheds = sheds;
+        prev_retries = retries;
+      }
+      // Every p99 latency quantile line, verbatim (one per RPC type).
+      std::size_t start = 0;
+      while (start < scrape.size()) {
+        const std::size_t nl = scrape.find('\n', start);
+        const std::size_t end = nl == std::string::npos ? scrape.size() : nl;
+        const std::string line = scrape.substr(start, end - start);
+        if (line.compare(0, 25, "leaf_rpc_latency_seconds{") == 0 &&
+            line.find("quantile=\"0.99\"") != std::string::npos)
+          std::printf("p99:   %s\n", line.c_str());
+        start = end + 1;
+      }
+
+      std::printf("%-5s %-6s %-12s %-10s %-11s %6s %8s %6s\n", "shard",
+                  "kpi", "model", "scheme", "health", "ready", "days",
+                  "done");
+      for (std::size_t i = 0; i < status.shards.size(); ++i) {
+        const net::ShardStatus& s = status.shards[i];
+        std::printf("%-5zu %-6s %-12s %-10s %-11s %6s %8d %6s\n", i,
+                    s.kpi.c_str(), s.model.c_str(), s.scheme.c_str(),
+                    serve::to_string(
+                        static_cast<serve::ShardHealth>(s.health)),
+                    s.ready ? "yes" : "no", s.days_evaluated,
+                    s.done ? "yes" : "no");
+      }
+
+      if (!series.series.empty()) {
+        std::printf("telemetry (raw tail, store at step %llu):\n",
+                    static_cast<unsigned long long>(series.last_step));
+        for (const net::SeriesPoints& sp : series.series) {
+          std::vector<double> tail = sp.values;
+          if (tail.size() > 32)
+            tail.erase(tail.begin(),
+                       tail.end() - static_cast<std::ptrdiff_t>(32));
+          std::printf("  %-32s %s  last=%.6g\n", sp.name.c_str(),
+                      sparkline(tail).c_str(),
+                      tail.empty() ? 0.0 : tail.back());
+        }
+      }
+      std::fflush(stdout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -757,6 +1091,8 @@ int main(int argc, char** argv) {
     return run_serve(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "query") == 0)
     return run_query(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "top") == 0)
+    return run_top(argc, argv);
 
   CommonOpts common;
   std::string kpi = "DVol";
@@ -884,10 +1220,9 @@ int main(int argc, char** argv) {
   if (!common.metrics_out.empty() &&
       !write_metrics(common.metrics_out, nullptr))
     return 1;
-  if (!common.events_out.empty()) {
-    if (!write_text_file(common.events_out, event_log.to_jsonl())) return 1;
-    LEAF_LOG_INFO("%zu drift events written to %s", event_log.size(),
-                  common.events_out.c_str());
-  }
+  if (!common.events_out.empty() &&
+      !write_events(common.events_out, event_log.events(),
+                    common.events_max_mb))
+    return 1;
   return 0;
 }

@@ -20,6 +20,7 @@ enum Point : std::uint64_t {
   kNetTruncate = 7,
   kNetGarbage = 8,
   kDeadlineStorm = 9,
+  kTsdbGap = 10,
 };
 
 double parse_probability(const std::string& key, const std::string& value) {
@@ -76,7 +77,8 @@ std::vector<int> parse_shards(const std::string& value) {
 bool ChaosConfig::any() const {
   return step_throw > 0.0 || retrain_storm > 0.0 || slow > 0.0 ||
          snapshot_corrupt > 0.0 || snapshot_partial > 0.0 ||
-         net_truncate > 0.0 || net_garbage > 0.0 || deadline_storm > 0.0;
+         net_truncate > 0.0 || net_garbage > 0.0 || deadline_storm > 0.0 ||
+         tsdb_gap > 0.0;
 }
 
 ChaosConfig ChaosConfig::parse(const std::string& spec) {
@@ -113,6 +115,8 @@ ChaosConfig ChaosConfig::parse(const std::string& spec) {
         cfg.net_garbage = parse_probability(key, value);
       else if (key == "deadline-storm")
         cfg.deadline_storm = parse_probability(key, value);
+      else if (key == "tsdb-gap")
+        cfg.tsdb_gap = parse_probability(key, value);
       else
         throw std::invalid_argument("chaos: unknown fault point '" + key + "'");
     }
@@ -150,6 +154,7 @@ std::string ChaosConfig::to_string() const {
   prob("net-truncate", net_truncate);
   prob("net-garbage", net_garbage);
   prob("deadline-storm", deadline_storm);
+  prob("tsdb-gap", tsdb_gap);
   return out.str();
 }
 
@@ -219,6 +224,10 @@ bool Engine::net_garbage(std::uint64_t conn, std::uint64_t seq) const {
 
 bool Engine::deadline_storm(std::uint64_t conn, std::uint64_t seq) const {
   return decide(kDeadlineStorm, conn, seq, cfg_.deadline_storm);
+}
+
+bool Engine::tsdb_gap(std::uint64_t tick) const {
+  return decide(kTsdbGap, tick, 0, cfg_.tsdb_gap);
 }
 
 }  // namespace leaf::chaos

@@ -33,6 +33,9 @@
 //   deadline-storm=P       P(a net client sends a request with an already-
 //                          hopeless 1ms deadline) per sent request — drives
 //                          queue sheds and the SLO burn-rate watchdog
+//   tsdb-gap=P             P(the telemetry store skips sampling) per logical
+//                          tick — leaves a deterministic gap in every stored
+//                          series (the tick still advances)
 //
 // Example: LEAF_CHAOS="seed=7,shards=0+2,step-throw=0.1,retrain-storm=0.2"
 #pragma once
@@ -67,6 +70,7 @@ struct ChaosConfig {
   double net_truncate = 0.0;
   double net_garbage = 0.0;
   double deadline_storm = 0.0;
+  double tsdb_gap = 0.0;
 
   /// True when any fault point has a non-zero probability.
   bool any() const;
@@ -124,6 +128,10 @@ class Engine {
   /// Connection `conn`'s request number `seq` carries a deadline it
   /// cannot possibly meet, forcing a SHED at dequeue time.
   bool deadline_storm(std::uint64_t conn, std::uint64_t seq) const;
+
+  /// The telemetry store skips sampling at logical tick `tick` (the tick
+  /// still advances, so the gap is visible in every stored series).
+  bool tsdb_gap(std::uint64_t tick) const;
 
  private:
   /// P(fault) decision at (fault point, a, b) — a pure substream lookup.

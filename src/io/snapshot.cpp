@@ -105,10 +105,12 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes, ReadMode mode)
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     throw SnapshotError("bad magic: not a LEAF snapshot file");
   const std::uint32_t version = in.get_u32();
-  if (version != kFormatVersion)
+  if (version < kMinReadVersion || version > kFormatVersion)
     throw SnapshotError("unsupported format version " +
                         std::to_string(version) + " (this build reads " +
+                        std::to_string(kMinReadVersion) + ".." +
                         std::to_string(kFormatVersion) + ")");
+  version_ = version;
   const std::uint32_t count = in.get_u32();
   sections_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

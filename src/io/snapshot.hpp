@@ -45,7 +45,13 @@ inline constexpr char kMagic[8] = {'L', 'E', 'A', 'F', 'S', 'N', 'A', 'P'};
 // equivalent drift-event telemetry across snapshot/restore).
 // v3: serve shard sections carry supervision state (health FSM, fault
 // counters, retrain circuit breaker, supervision event log).
-inline constexpr std::uint32_t kFormatVersion = 3;
+// v4: fleet snapshots carry a "tsdb" section (telemetry store + meta-
+// drift detector state).  v3 files still restore — the reader accepts
+// [kMinReadVersion, kFormatVersion] and consumers treat the missing
+// section as an empty store.
+inline constexpr std::uint32_t kFormatVersion = 4;
+/// Oldest format version this build still reads.
+inline constexpr std::uint32_t kMinReadVersion = 3;
 
 /// Test/chaos seam: while alive, the next SnapshotWriter::write_file
 /// call fails after writing `after_bytes` bytes of the temporary file,
@@ -105,6 +111,9 @@ class SnapshotReader {
   static SnapshotReader from_file(const std::string& path,
                                   ReadMode mode = ReadMode::kStrict);
 
+  /// Format version of the parsed file (kMinReadVersion..kFormatVersion).
+  std::uint32_t version() const { return version_; }
+
   /// True when `name` is present *and* intact.
   bool has(const std::string& name) const;
   /// Deserializer over a verified section payload; throws if absent or
@@ -131,6 +140,7 @@ class SnapshotReader {
   std::vector<std::uint8_t> bytes_;
   std::vector<Section> sections_;
   std::vector<std::string> corrupt_;
+  std::uint32_t version_ = kFormatVersion;
 };
 
 }  // namespace leaf::io

@@ -32,10 +32,12 @@ const char* to_string(MsgType t) {
     case MsgType::kBatchPredict: return "batch_predict";
     case MsgType::kScrapeMetrics: return "scrape_metrics";
     case MsgType::kFleetStatus: return "fleet_status";
+    case MsgType::kQuerySeries: return "query_series";
     case MsgType::kPredictOk: return "predict_ok";
     case MsgType::kScrapeOk: return "scrape_ok";
     case MsgType::kStatusOk: return "status_ok";
     case MsgType::kError: return "error";
+    case MsgType::kQuerySeriesOk: return "query_series_ok";
   }
   return "?";
 }
@@ -155,9 +157,9 @@ std::optional<Frame> FrameDecoder::next() {
   if (b.size() < header + payload_len) return std::nullopt;
 
   const bool known_type =
-      type <= static_cast<std::uint8_t>(MsgType::kFleetStatus) ||
+      type <= static_cast<std::uint8_t>(MsgType::kQuerySeries) ||
       (type >= static_cast<std::uint8_t>(MsgType::kPredictOk) &&
-       type <= static_cast<std::uint8_t>(MsgType::kError));
+       type <= static_cast<std::uint8_t>(MsgType::kQuerySeriesOk));
   if (!known_type) {
     poisoned_ = true;
     throw ProtocolError(ErrorCode::kMalformed,
@@ -267,6 +269,98 @@ StatusResponse StatusResponse::decode(io::Deserializer& in) {
     s.done = in.get_bool();
     resp.shards.push_back(std::move(s));
   }
+  return resp;
+}
+
+void SeriesRequest::encode(io::Serializer& out) const {
+  out.put_string(name);
+  out.put_string(labels_contains);
+  out.put_u64(start_step);
+  out.put_u64(end_step);
+  out.put_u8(resolution);
+  out.put_u32(max_series);
+}
+
+SeriesRequest SeriesRequest::decode(io::Deserializer& in) {
+  SeriesRequest req;
+  req.name = in.get_string();
+  req.labels_contains = in.get_string();
+  req.start_step = in.get_u64();
+  req.end_step = in.get_u64();
+  req.resolution = in.get_u8();
+  if (req.resolution > 2)
+    throw io::SnapshotError("unknown series resolution " +
+                            std::to_string(req.resolution));
+  req.max_series = in.get_u32();
+  return req;
+}
+
+namespace {
+
+void put_u64s(io::Serializer& out, const std::vector<std::uint64_t>& v) {
+  out.put_u64(v.size());
+  for (std::uint64_t x : v) out.put_u64(x);
+}
+
+std::vector<std::uint64_t> get_u64s(io::Deserializer& in) {
+  const std::uint64_t n = in.get_count(8);
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(in.get_u64());
+  return v;
+}
+
+}  // namespace
+
+void SeriesPoints::encode(io::Serializer& out) const {
+  out.put_string(name);
+  out.put_string(labels);
+  out.put_u8(resolution);
+  put_u64s(out, steps);
+  out.put_doubles(values);
+  out.put_doubles(min);
+  out.put_doubles(max);
+  put_u64s(out, counts);
+}
+
+SeriesPoints SeriesPoints::decode(io::Deserializer& in) {
+  SeriesPoints s;
+  s.name = in.get_string();
+  s.labels = in.get_string();
+  s.resolution = in.get_u8();
+  if (s.resolution > 2)
+    throw io::SnapshotError("unknown series resolution " +
+                            std::to_string(s.resolution));
+  s.steps = get_u64s(in);
+  s.values = in.get_doubles();
+  s.min = in.get_doubles();
+  s.max = in.get_doubles();
+  s.counts = get_u64s(in);
+  if (s.values.size() != s.steps.size())
+    throw io::SnapshotError("series step/value count mismatch");
+  const std::size_t agg = s.resolution == 0 ? 0 : s.steps.size();
+  if (s.min.size() != agg || s.max.size() != agg || s.counts.size() != agg)
+    throw io::SnapshotError("series aggregate vector count mismatch");
+  return s;
+}
+
+void SeriesResponse::encode(io::Serializer& out) const {
+  out.put_u64(last_step);
+  out.put_bool(truncated);
+  out.put_u32(static_cast<std::uint32_t>(series.size()));
+  for (const SeriesPoints& s : series) s.encode(out);
+}
+
+SeriesResponse SeriesResponse::decode(io::Deserializer& in) {
+  SeriesResponse resp;
+  resp.last_step = in.get_u64();
+  resp.truncated = in.get_bool();
+  const std::uint32_t n = in.get_u32();
+  if (n > kMaxMatrixDim)
+    throw io::SnapshotError("series count out of range");
+  resp.series.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    resp.series.push_back(SeriesPoints::decode(in));
   return resp;
 }
 

@@ -68,10 +68,12 @@ enum class MsgType : std::uint8_t {
   kBatchPredict = 1,   ///< n feature rows -> n forecasts, one model pass
   kScrapeMetrics = 2,  ///< Prometheus text or JSON scrape
   kFleetStatus = 3,    ///< per-shard serving status
+  kQuerySeries = 4,    ///< telemetry store range query (leaf::tsdb)
   kPredictOk = 16,
   kScrapeOk = 17,
   kStatusOk = 18,
   kError = 19,  ///< typed failure (ErrorResponse payload)
+  kQuerySeriesOk = 20,
 };
 
 const char* to_string(MsgType t);
@@ -219,6 +221,55 @@ struct StatusResponse {
 
   void encode(io::Serializer& out) const;
   static StatusResponse decode(io::Deserializer& in);
+};
+
+/// kQuerySeries body: a telemetry-store range query.  `name` is an exact
+/// series name or a trailing-'*' prefix matcher; `labels_contains` is a
+/// substring filter on the canonical label string ("" = all).  Steps are
+/// logical (fleet-step / sample-tick indices), `end_step` inclusive.
+/// `resolution` is a tsdb::Resolution value (0 raw, 1 ten-step, 2
+/// hundred-step); anything else is a malformed body.  `max_series` caps
+/// the response; the server enforces its own ceiling on top (kOversized).
+struct SeriesRequest {
+  std::string name;
+  std::string labels_contains;
+  std::uint64_t start_step = 0;
+  std::uint64_t end_step = ~0ULL;
+  std::uint8_t resolution = 0;
+  std::uint32_t max_series = 16;
+
+  void encode(io::Serializer& out) const;
+  static SeriesRequest decode(io::Deserializer& in);
+};
+
+/// One series of a kQuerySeriesOk response.  At resolution 0 only
+/// `steps`/`values` are populated; at the downsampled tiers `values`
+/// holds bucket means and `min`/`max`/`counts` the rest of each bucket
+/// (all five vectors then share a length).
+struct SeriesPoints {
+  std::string name;
+  std::string labels;
+  std::uint8_t resolution = 0;
+  std::vector<std::uint64_t> steps;
+  std::vector<double> values;
+  std::vector<double> min;
+  std::vector<double> max;
+  std::vector<std::uint64_t> counts;
+
+  bool operator==(const SeriesPoints&) const = default;
+
+  void encode(io::Serializer& out) const;
+  static SeriesPoints decode(io::Deserializer& in);
+};
+
+/// kQuerySeriesOk body.
+struct SeriesResponse {
+  std::uint64_t last_step = 0;  ///< newest sample step in the store
+  bool truncated = false;       ///< more series matched than returned
+  std::vector<SeriesPoints> series;
+
+  void encode(io::Serializer& out) const;
+  static SeriesResponse decode(io::Deserializer& in);
 };
 
 /// kError body.

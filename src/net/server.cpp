@@ -245,6 +245,61 @@ void ServerCore::handle_frame(ConnId conn, const Frame& frame,
         rpc_latency(p.type).observe(obs::monotonic_seconds() - p.arrival_s);
         return;
       }
+      case MsgType::kQuerySeries: {
+        Pending p;
+        init_pending(p, conn, frame);
+        std::size_t decode_span = 0;
+        if (p.traced) decode_span = p.spans.begin("decode");
+        const SeriesRequest req = decode_body<SeriesRequest>(frame);
+        if (p.traced) p.spans.end(decode_span);
+        if (req.max_series > cfg_.max_query_series)
+          throw ProtocolError(
+              ErrorCode::kOversized,
+              "query_series asks for " + std::to_string(req.max_series) +
+                  " series; the server caps responses at " +
+                  std::to_string(cfg_.max_query_series),
+              /*fatal=*/false);
+        tsdb::Store::Query q;
+        q.name = req.name;
+        q.labels_contains = req.labels_contains;
+        q.start_step = req.start_step;
+        q.end_step = req.end_step;
+        q.resolution = static_cast<tsdb::Resolution>(req.resolution);
+        q.max_series = req.max_series;
+        const tsdb::Store& store =
+            static_cast<const serve::FleetRuntime&>(*fleet_).telemetry();
+        tsdb::Store::QueryResult result = store.query(q);
+        SeriesResponse body;
+        body.last_step = store.last_step();
+        body.truncated = result.truncated;
+        body.series.reserve(result.series.size());
+        for (tsdb::SeriesData& sd : result.series) {
+          SeriesPoints pts;
+          pts.name = std::move(sd.name);
+          pts.labels = std::move(sd.labels);
+          pts.resolution = static_cast<std::uint8_t>(sd.resolution);
+          pts.steps = std::move(sd.steps);
+          pts.values = std::move(sd.values);
+          pts.min = std::move(sd.min);
+          pts.max = std::move(sd.max);
+          pts.counts = std::move(sd.counts);
+          body.series.push_back(std::move(pts));
+        }
+        Frame resp =
+            make_frame(MsgType::kQuerySeriesOk, frame.request_id, body);
+        resp.version = p.version;
+        resp.trace = p.trace;
+        std::size_t respond_span = 0;
+        if (p.traced) respond_span = p.spans.begin("respond");
+        respond(conn, resp, sink);
+        if (p.traced) {
+          p.spans.end(respond_span);
+          p.spans.end(0);
+          flush_trace(p);
+        }
+        rpc_latency(p.type).observe(obs::monotonic_seconds() - p.arrival_s);
+        return;
+      }
       default:
         return;  // unreachable: is_request filtered the rest
     }

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <span>
+#include <string_view>
+#include <system_error>
+#include <utility>
 
 #include "common/calendar.hpp"
 #include "io/snapshot.hpp"
@@ -29,6 +33,7 @@ const char* to_string(EventKind k) {
     case EventKind::kSloBurnWarning: return "slo-burn-warning";
     case EventKind::kSloBurnCritical: return "slo-burn-critical";
     case EventKind::kSloRecovered: return "slo-recovered";
+    case EventKind::kTelemetryDrift: return "telemetry-drift";
   }
   return "?";
 }
@@ -137,6 +142,60 @@ std::uint64_t EventLog::write_jsonl(const std::string& path,
       path, std::span<const std::uint8_t>(
                 reinterpret_cast<const std::uint8_t*>(jsonl.data()),
                 jsonl.size()));
+}
+
+std::uint64_t EventLog::write_jsonl_rotated(const std::string& path,
+                                            const std::vector<Event>& events,
+                                            bool with_timing,
+                                            std::uint64_t max_bytes) {
+  // Stale rotated files from an earlier, larger write must not survive a
+  // smaller one — they would read as history this run never produced.
+  std::error_code ec;
+  std::filesystem::remove(path + ".1", ec);
+  std::filesystem::remove(path + ".2", ec);
+  const std::string jsonl = to_jsonl(events, with_timing);
+  const auto write_chunk = [](const std::string& p, std::string_view chunk) {
+    return io::SnapshotWriter::write_bytes(
+        p, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(chunk.data()),
+               chunk.size()));
+  };
+  if (max_bytes == 0 || jsonl.size() <= max_bytes)
+    return write_chunk(path, jsonl);
+
+  // Pack whole lines, newest first, into up to three chunks of at most
+  // max_bytes each (a single oversized line still gets a chunk to
+  // itself — capping must never silently drop the newest tail).
+  const std::string_view all(jsonl);
+  std::vector<std::pair<std::size_t, std::size_t>> lines;  // (start, len)
+  for (std::size_t pos = 0; pos < all.size();) {
+    const std::size_t nl = all.find('\n', pos);
+    const std::size_t line_end =
+        nl == std::string_view::npos ? all.size() : nl + 1;
+    lines.emplace_back(pos, line_end - pos);
+    pos = line_end;
+  }
+  std::vector<std::string_view> chunks;
+  for (std::size_t i = lines.size(); i > 0 && chunks.size() < 3;) {
+    std::size_t bytes = 0;
+    while (i > 0) {
+      const std::size_t len = lines[i - 1].second;
+      if (bytes > 0 && bytes + len > max_bytes) break;
+      bytes += len;
+      --i;
+      if (bytes >= max_bytes) break;
+    }
+    chunks.push_back(all.substr(lines[i].first, bytes));
+  }
+
+  // chunks[0] is the newest tail -> `path`; older chunks -> .1, .2.
+  std::uint64_t written = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const std::string target =
+        i == 0 ? path : path + "." + std::to_string(i);
+    written += write_chunk(target, chunks[i]);
+  }
+  return written;
 }
 
 std::vector<Event> EventLog::merge(const std::vector<const EventLog*>& logs) {

@@ -46,11 +46,13 @@ enum class EventKind : std::uint8_t {
   kSloBurnWarning = 14,  ///< a burn rate crossed the warning fraction
   kSloBurnCritical = 15, ///< a burn rate crossed its critical threshold
   kSloRecovered = 16,    ///< all burn rates back under thresholds
+  // Telemetry meta-drift watchdog (tsdb::MetaDrift).
+  kTelemetryDrift = 17,  ///< a recording-rule detector fired on telemetry
 };
 
 /// Highest valid EventKind value (snapshot loaders validate against it).
 inline constexpr std::uint8_t kMaxEventKind =
-    static_cast<std::uint8_t>(EventKind::kSloRecovered);
+    static_cast<std::uint8_t>(EventKind::kTelemetryDrift);
 
 const char* to_string(EventKind k);
 
@@ -98,6 +100,19 @@ class EventLog {
   static std::uint64_t write_jsonl(const std::string& path,
                                    const std::vector<Event>& events,
                                    bool with_timing);
+
+  /// Size-capped variant (`--events-max-mb`): when the rendering exceeds
+  /// `max_bytes`, it is split on line boundaries into at most three
+  /// files — the newest tail under `path`, older chunks under `path.1`
+  /// then `path.2`, oldest lines beyond that dropped — each written with
+  /// the same tmp+rename discipline (a fault mid-rotation throws and
+  /// leaves no `.tmp` litter).  `max_bytes` 0 means uncapped (plain
+  /// write_jsonl; stale `.1`/`.2` files from earlier capped writes are
+  /// still removed).  Returns the total bytes written across files.
+  static std::uint64_t write_jsonl_rotated(const std::string& path,
+                                           const std::vector<Event>& events,
+                                           bool with_timing,
+                                           std::uint64_t max_bytes);
 
   /// Merges shard logs into one deterministic stream: stable sort by
   /// (day, shard), preserving each log's insertion order within a day.

@@ -49,7 +49,8 @@ std::string fmt(double v) {
 
 bool SloSpec::any() const {
   return deadline_miss != kDisabled || shed != kDisabled ||
-         quarantine != kDisabled || nrmse_regression != kDisabled;
+         quarantine != kDisabled || nrmse_regression != kDisabled ||
+         telemetry_drift != kDisabled;
 }
 
 SloSpec SloSpec::parse(const std::string& spec) {
@@ -79,6 +80,8 @@ SloSpec SloSpec::parse(const std::string& spec) {
       out.nrmse_regression = parse_rate(key, value, 1e9);
     } else if (key == "nrmse-baseline") {
       out.nrmse_baseline = parse_rate(key, value, 1e9);
+    } else if (key == "telemetry-drift") {
+      out.telemetry_drift = parse_int(key, value, 1);
     } else if (key == "warn") {
       out.warn_fraction = parse_rate(key, value, 1.0);
     } else if (key == "recover") {
@@ -99,6 +102,8 @@ std::string SloSpec::to_string() const {
     out += ",nrmse-regression=" + fmt(nrmse_regression);
   if (std::isfinite(nrmse_baseline))
     out += ",nrmse-baseline=" + fmt(nrmse_baseline);
+  if (telemetry_drift != kDisabled)
+    out += ",telemetry-drift=" + fmt(telemetry_drift);
   out += ",warn=" + fmt(warn_fraction);
   out += ",recover=" + std::to_string(recover_ticks);
   return out;
@@ -119,7 +124,7 @@ SloWatchdog::SloWatchdog(SloSpec spec)
 SloWatchdog::Burn SloWatchdog::burn() const {
   Burn b;
   std::uint64_t requests = 0, misses = 0, sheds = 0, retries = 0;
-  std::uint64_t shards = 0, quarantined = 0;
+  std::uint64_t shards = 0, quarantined = 0, drift = 0;
   double nrmse = std::numeric_limits<double>::quiet_NaN();
   for (const SloSample& s : window_) {
     requests += s.requests;
@@ -128,6 +133,7 @@ SloWatchdog::Burn SloWatchdog::burn() const {
     retries += s.retries;
     shards = s.shards;
     quarantined = s.quarantined;
+    if (s.telemetry_drift > drift) drift = s.telemetry_drift;  // window max
     if (std::isfinite(s.nrmse)) nrmse = s.nrmse;  // newest finite wins
   }
   const double answered = static_cast<double>(requests > 0 ? requests : 1);
@@ -136,6 +142,7 @@ SloWatchdog::Burn SloWatchdog::burn() const {
   b.quarantine = shards == 0 ? 0.0
                              : static_cast<double>(quarantined) /
                                    static_cast<double>(shards);
+  b.telemetry_drift = static_cast<double>(drift);
   if (std::isfinite(nrmse) && std::isfinite(baseline_nrmse_) &&
       baseline_nrmse_ > 0.0) {
     b.nrmse_regression = (nrmse - baseline_nrmse_) / baseline_nrmse_;
@@ -163,6 +170,7 @@ SloWatchdog::State SloWatchdog::observe(const SloSample& sample, int day) {
       {"shed", b.shed, spec_.shed},
       {"quarantine", b.quarantine, spec_.quarantine},
       {"nrmse-regression", b.nrmse_regression, spec_.nrmse_regression},
+      {"telemetry-drift", b.telemetry_drift, spec_.telemetry_drift},
   };
   State target = State::kOk;
   const Signal* worst = nullptr;

@@ -16,6 +16,10 @@
 //   * nrmse-regression   — (nrmse - baseline) / baseline, against a
 //                          pinned baseline (spec `nrmse-baseline=X`, or
 //                          the first finite NRMSE the watchdog sees)
+//   * telemetry-drift    — meta-drift rules currently in the fired state
+//                          (FleetRuntime::telemetry_drift_state), window
+//                          max; alarms when the telemetry plane itself
+//                          reports a distribution shift
 //
 // Determinism: ticks are logical, samples are integer deltas of logical
 // counters, and rates are ratios of their window sums, so the state
@@ -41,6 +45,7 @@ namespace leaf::obs {
 ///   quarantine=P         critical quarantined-shard rate in [0, 1]
 ///   nrmse-regression=P   critical relative NRMSE regression (>= 0)
 ///   nrmse-baseline=X     pinned baseline NRMSE (default: first observed)
+///   telemetry-drift=N    critical count of fired meta-drift rules (>= 1)
 ///   warn=F               warning fraction of each threshold (default 0.5)
 ///   recover=N            clean ticks required to step down (default 2)
 ///
@@ -55,6 +60,7 @@ struct SloSpec {
   double quarantine = kDisabled;
   double nrmse_regression = kDisabled;
   double nrmse_baseline = std::numeric_limits<double>::quiet_NaN();
+  double telemetry_drift = kDisabled;
   double warn_fraction = 0.5;
   int recover_ticks = 2;
 
@@ -79,6 +85,7 @@ struct SloSample {
   std::uint64_t retries = 0;          ///< queue-full RETRY responses
   std::uint64_t shards = 0;           ///< fleet size
   std::uint64_t quarantined = 0;      ///< shards currently quarantined
+  std::uint64_t telemetry_drift = 0;  ///< fired meta-drift rules (level)
   double nrmse = std::numeric_limits<double>::quiet_NaN();
 };
 
@@ -105,6 +112,7 @@ class SloWatchdog {
     double shed = 0.0;
     double quarantine = 0.0;
     double nrmse_regression = 0.0;
+    double telemetry_drift = 0.0;
   };
   Burn burn() const;
 

@@ -701,7 +701,102 @@ bool FleetRuntime::step() {
   par::parallel_for(shards_.size(),
                     [&](std::size_t i) { step_shard(*shards_[i], fleet_step); });
   ++steps_run_;
+  // Serial epilogue: sample fleet telemetry into the embedded store.  The
+  // parallel phase is over, so the sample is a pure function of the
+  // post-step fleet state — bit-identical at any LEAF_THREADS.
+  sample_telemetry();
   return !done();
+}
+
+void FleetRuntime::record_net_deltas(std::uint64_t tick) {
+  // Net-plane counters are process-lifetime registry state, so their
+  // per-tick deltas depend on process history (a resumed process restarts
+  // the baselines): stored for operators, excluded from fingerprint().
+  static constexpr const char* kNetCounters[] = {
+      "leaf_net_requests_total",  "leaf_net_responses_total",
+      "leaf_net_sheds_total",     "leaf_net_retries_total",
+      "leaf_net_errors_total",    "leaf_net_malformed_frames_total",
+  };
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (net_baselines_.empty()) {
+    for (const char* name : kNetCounters)
+      net_baselines_.push_back(
+          {name, static_cast<double>(reg.counter(name).value())});
+  }
+  double requests = 0.0;
+  double sheds = 0.0;
+  double retries = 0.0;
+  for (NetBaseline& b : net_baselines_) {
+    const double now = static_cast<double>(reg.counter(b.metric).value());
+    const double delta = now - b.last;
+    b.last = now;
+    tsdb_.record(b.metric + "_per_tick", "", tick, delta,
+                 /*deterministic=*/false);
+    if (b.metric == "leaf_net_requests_total") requests = delta;
+    else if (b.metric == "leaf_net_sheds_total") sheds = delta;
+    else if (b.metric == "leaf_net_retries_total") retries = delta;
+  }
+  // Recording rules: deadline-miss and shed rates per tick.  Sheds fire
+  // exactly when a request's deadline lapsed in queue, so the shed delta
+  // *is* the deadline-miss count; the shed rate also folds in RETRYs.
+  const double denom = requests > 0.0 ? requests : 1.0;
+  const double miss_rate = sheds / denom;
+  const double shed_rate = (sheds + retries) / denom;
+  tsdb_.record("leaf_rule_deadline_miss_rate", "", tick, miss_rate,
+               /*deterministic=*/false);
+  tsdb_.record("leaf_rule_shed_rate", "", tick, shed_rate,
+               /*deterministic=*/false);
+  meta_drift_.observe("deadline_miss_rate", -1, tick, miss_rate);
+  meta_drift_.observe("shed_rate", -1, tick, shed_rate);
+}
+
+void FleetRuntime::sample_telemetry() {
+  if constexpr (!obs::kCompiledIn) return;
+  const std::uint64_t tick = sample_tick_++;
+  // A chaos tsdb-gap skips the sample but the tick still advanced, so the
+  // gap is visible (and deterministic) in every stored series.
+  if (chaos_.enabled() && chaos_.tsdb_gap(tick)) return;
+
+  // Deterministic series: pure functions of shard state, resume-safe.
+  double quarantined = 0.0;
+  double faults = 0.0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    const std::string labels = obs::label("shard", std::to_string(i));
+    if (!s.result.nrmse.empty()) {
+      const double nrmse = s.result.nrmse.back();
+      tsdb_.record("leaf_fleet_shard_nrmse", labels, tick, nrmse);
+      meta_drift_.observe("shard" + std::to_string(i) + "_nrmse",
+                          static_cast<int>(i), tick, nrmse);
+    }
+    tsdb_.record("leaf_fleet_shard_health", labels, tick,
+                 static_cast<double>(s.health));
+    tsdb_.record("leaf_fleet_shard_retrains", labels, tick,
+                 static_cast<double>(s.result.retrain_count()));
+    tsdb_.record("leaf_fleet_shard_drift_events", labels, tick,
+                 static_cast<double>(s.result.drift_days.size()));
+    tsdb_.record("leaf_fleet_shard_days_evaluated", labels, tick,
+                 static_cast<double>(s.result.days.size()));
+    if (s.health == ShardHealth::kQuarantined) quarantined += 1.0;
+    faults += static_cast<double>(s.total_faults);
+  }
+  tsdb_.record("leaf_fleet_steps", "", tick,
+               static_cast<double>(steps_run_));
+  tsdb_.record("leaf_fleet_avg_nrmse", "", tick, current_avg_nrmse());
+  tsdb_.record("leaf_fleet_shards_quarantined", "", tick, quarantined);
+  tsdb_.record("leaf_fleet_faults", "", tick, faults);
+  const double qrate =
+      shards_.empty() ? 0.0
+                      : quarantined / static_cast<double>(shards_.size());
+  tsdb_.record("leaf_rule_quarantine_rate", "", tick, qrate);
+  meta_drift_.observe("quarantine_rate", -1, tick, qrate);
+
+  // Volatile net-plane deltas + their recording rules.
+  record_net_deltas(tick);
+
+  obs::MetricsRegistry::global()
+      .gauge("leaf_telemetry_drift_state")
+      .set(static_cast<double>(meta_drift_.state(sample_tick_)));
 }
 
 std::uint64_t FleetRuntime::run_to_end() {
@@ -777,6 +872,14 @@ std::uint64_t FleetRuntime::snapshot(const std::string& dir) {
   for (std::size_t i = 0; i < shards_.size(); ++i)
     shards_[i]->save(writer.section("shard" + std::to_string(i)));
 
+  // v4: the telemetry store + meta-drift detector state ride along, so a
+  // resumed run's stored series and detection trajectory continue
+  // byte-identically.
+  io::Serializer& ts = writer.section("tsdb");
+  ts.put_u64(sample_tick_);
+  tsdb_.save(ts);
+  meta_drift_.save(ts);
+
   // Generation counter advances even when the write fails: the failed
   // generation number is burned, like a crashed deployment's would be.
   const std::uint64_t gen = ++snapshot_gen_;
@@ -851,6 +954,10 @@ void FleetRuntime::restore(const std::string& dir) {
   bool meta_ok = false;
   std::uint64_t anchor_gen = 0;
   std::uint64_t steps_run = 0;
+  bool tsdb_ok = false;
+  tsdb::Store restored_store(tsdb_.config());
+  tsdb::MetaDrift restored_md(meta_drift_.config());
+  std::uint64_t restored_tick = 0;
   std::string first_error;
   std::size_t remaining = shards_.size();
   const auto note_error = [&first_error](const std::string& what) {
@@ -900,6 +1007,22 @@ void FleetRuntime::restore(const std::string& dir) {
       meta_ok = true;
       anchor_gen = gen;
       steps_run = gen_steps;
+      // Telemetry rides with the anchor generation only (mixing store
+      // history across generations would fabricate a timeline no run
+      // produced).  A v3 file has no "tsdb" section and a damaged one is
+      // demoted by the lenient reader: both restore as an empty store —
+      // telemetry loss is never fatal to the fleet.
+      if (reader->has("tsdb")) {
+        try {
+          io::Deserializer ts = reader->section("tsdb");
+          restored_tick = ts.get_u64();
+          restored_store.load(ts);
+          restored_md.load(ts);
+          tsdb_ok = true;
+        } catch (const io::SnapshotError& e) {
+          note_error(std::string("tsdb section: ") + e.what());
+        }
+      }
     }
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       if (restored[i].has_value()) continue;
@@ -934,6 +1057,18 @@ void FleetRuntime::restore(const std::string& dir) {
   steps_run_ = steps_run;
   started_ = true;
   snapshot_gen_ = gens_asc.back();
+  if (tsdb_ok) {
+    tsdb_ = std::move(restored_store);
+    meta_drift_ = std::move(restored_md);
+    sample_tick_ = restored_tick;
+  } else {
+    tsdb_.clear();
+    meta_drift_.clear();
+    sample_tick_ = steps_run_;  // ticks re-anchor to the step boundary
+  }
+  // Net-delta baselines are process state, never snapshot state: a
+  // resumed process restarts them at the current counter values.
+  net_baselines_.clear();
 
   int fallbacks = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -1075,9 +1210,10 @@ std::string FleetRuntime::events_jsonl(bool with_timing) const {
 
 std::vector<obs::Event> FleetRuntime::supervision_events() const {
   std::vector<const obs::EventLog*> logs;
-  logs.reserve(shards_.size() + 1);
+  logs.reserve(shards_.size() + extra_supervision_.size() + 1);
   for (const auto& shard : shards_) logs.push_back(&shard->supervision);
-  if (extra_supervision_ != nullptr) logs.push_back(extra_supervision_);
+  logs.push_back(&meta_drift_.events());
+  for (const obs::EventLog* log : extra_supervision_) logs.push_back(log);
   return obs::EventLog::merge(logs);
 }
 

@@ -57,6 +57,8 @@
 #include "models/factory.hpp"
 #include "obs/events.hpp"
 #include "obs/trace.hpp"
+#include "tsdb/meta_drift.hpp"
+#include "tsdb/store.hpp"
 
 namespace leaf::serve {
 
@@ -225,10 +227,12 @@ class FleetRuntime {
   std::string supervision_jsonl(bool with_timing = true) const;
 
   /// Merges an external supervision log (e.g. the SLO watchdog's burn
-  /// events) into supervision_events().  The log must outlive the
-  /// runtime; pass nullptr to detach.
+  /// events) into supervision_events().  Each non-null log is appended
+  /// (several can be attached); the logs must outlive the runtime; pass
+  /// nullptr to detach all.
   void attach_supervision_log(const obs::EventLog* log) {
-    extra_supervision_ = log;
+    if (log == nullptr) extra_supervision_.clear();
+    else extra_supervision_.push_back(log);
   }
 
   /// Fleet-average of each shard's most recent per-day NRMSE — the model-
@@ -241,6 +245,40 @@ class FleetRuntime {
   /// state) followed — when `include_process` — by the process-global
   /// registry scrape (spans, cache counters; process-lifetime values).
   std::string scrape(bool include_process = true) const;
+
+  // --- telemetry store (leaf::tsdb) -------------------------------------
+
+  /// Samples fleet telemetry into the embedded time-series store and
+  /// feeds the meta-drift recording rules, advancing the logical sample
+  /// tick.  Called automatically at every step() boundary; the serving
+  /// loop also calls it per idle tick once the fleet is done stepping so
+  /// net-plane series keep flowing.  Timestamps are logical tick indices,
+  /// never wall-clock.  A chaos `tsdb-gap` decision skips the sampling
+  /// but still advances the tick, leaving a deterministic gap.  No-op
+  /// when observability is compiled out.
+  void sample_telemetry();
+
+  /// The embedded telemetry store.  Series derived from fleet state are
+  /// deterministic (byte-identical at any LEAF_THREADS and across
+  /// snapshot/restore); series sampled from the process-global registry
+  /// (net-plane deltas, *_seconds*) are stored but excluded from
+  /// Store::fingerprint().
+  const tsdb::Store& telemetry() const { return tsdb_; }
+  tsdb::Store& telemetry() { return tsdb_; }
+
+  /// The meta-drift watchdog over the recording rules (deadline-miss /
+  /// shed / quarantine rates, per-shard NRMSE).
+  const tsdb::MetaDrift& meta_drift() const { return meta_drift_; }
+
+  /// Number of recording rules currently in a fired (held) drift state —
+  /// the value of the `leaf_telemetry_drift_state` gauge.
+  int telemetry_drift_state() const {
+    return meta_drift_.state(sample_tick_);
+  }
+
+  /// Logical sample tick (number of sample_telemetry() calls, snapshot-
+  /// carried so resumed series continue seamlessly).
+  std::uint64_t sample_tick() const { return sample_tick_; }
 
   // --- net-plane query surface (leaf::net) ------------------------------
   // Predictions are pure reads of a shard's current model: they never
@@ -279,6 +317,7 @@ class FleetRuntime {
   void step_shard(Shard& shard, std::uint64_t fleet_step);
   void handle_shard_failure(Shard& shard, std::uint64_t fleet_step,
                             const char* what);
+  void record_net_deltas(std::uint64_t tick);
 
   const data::CellularDataset* ds_;
   Scale scale_;
@@ -292,7 +331,19 @@ class FleetRuntime {
   std::uint64_t steps_run_ = 0;
   std::uint64_t snapshot_gen_ = 0;   ///< last generation written/restored
   int snapshot_fallbacks_ = 0;       ///< rollbacks in the last restore
-  const obs::EventLog* extra_supervision_ = nullptr;  ///< SLO watchdog etc.
+  std::vector<const obs::EventLog*> extra_supervision_;  ///< SLO watchdog etc.
+  // --- telemetry store --------------------------------------------------
+  tsdb::Store tsdb_;
+  tsdb::MetaDrift meta_drift_;
+  std::uint64_t sample_tick_ = 0;
+  /// Process-lifetime registry counter baselines for the volatile
+  /// net-plane rate series (delta since this runtime started / resumed).
+  /// Never snapshotted: a resumed process starts fresh deltas.
+  struct NetBaseline {
+    std::string metric;
+    double last = 0.0;
+  };
+  std::vector<NetBaseline> net_baselines_;
 };
 
 }  // namespace leaf::serve

@@ -689,6 +689,189 @@ TEST_F(NetFixture, FuzzLiteMutatedFramesNeverKillTheFleet) {
   obs::set_log_level(prev_level);
 }
 
+// --- telemetry queries (leaf::tsdb over LNET) ------------------------------
+
+TEST(NetProtocol, SeriesBodiesRoundTrip) {
+  SeriesRequest req;
+  req.name = "leaf_fleet_*";
+  req.labels_contains = "shard=\"1\"";
+  req.start_step = 7;
+  req.end_step = 93;
+  req.resolution = 1;
+  req.max_series = 5;
+  const auto req_back =
+      decode_body<SeriesRequest>(make_frame(MsgType::kQuerySeries, 9, req));
+  EXPECT_EQ(req_back.name, req.name);
+  EXPECT_EQ(req_back.labels_contains, req.labels_contains);
+  EXPECT_EQ(req_back.start_step, req.start_step);
+  EXPECT_EQ(req_back.end_step, req.end_step);
+  EXPECT_EQ(req_back.resolution, req.resolution);
+  EXPECT_EQ(req_back.max_series, req.max_series);
+
+  SeriesResponse resp;
+  resp.last_step = 93;
+  resp.truncated = true;
+  SeriesPoints pts;
+  pts.name = "leaf_fleet_steps";
+  pts.labels = "{shard=\"1\"}";
+  pts.resolution = 1;
+  pts.steps = {10, 20};
+  pts.values = {4.5, 14.5};
+  pts.min = {0.0, 10.0};
+  pts.max = {9.0, 19.0};
+  pts.counts = {10, 10};
+  resp.series.push_back(pts);
+  const auto resp_back = decode_body<SeriesResponse>(
+      make_frame(MsgType::kQuerySeriesOk, 9, resp));
+  EXPECT_EQ(resp_back.last_step, resp.last_step);
+  EXPECT_TRUE(resp_back.truncated);
+  ASSERT_EQ(resp_back.series.size(), 1u);
+  EXPECT_EQ(resp_back.series[0], pts);
+}
+
+TEST(NetProtocol, SeriesRequestBadResolutionIsMalformedNotFatal) {
+  // Hand-roll a body whose resolution byte names a tier that does not
+  // exist; everything else is valid.
+  io::Serializer s;
+  s.put_string("leaf_fleet_steps");
+  s.put_string("");
+  s.put_u64(0);
+  s.put_u64(~0ULL);
+  s.put_u8(3);  // tiers are 0, 1, 2
+  s.put_u32(16);
+  Frame f{MsgType::kQuerySeries, 8,
+          std::vector<std::uint8_t>(s.bytes().begin(), s.bytes().end())};
+  try {
+    decode_body<SeriesRequest>(f);
+    FAIL() << "bad resolution accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMalformed);
+    EXPECT_FALSE(e.fatal());
+  }
+}
+
+TEST_F(NetFixture, LoopbackQuerySeriesAnsweredInline) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  auto fleet = ready_fleet(2);
+  fleet->run_steps(5);
+  Loopback loop(*fleet);
+  LoopbackConnection& conn = loop.connect();
+
+  // Exact-name raw query: one point per fleet step sampled so far.
+  SeriesRequest req;
+  req.name = "leaf_fleet_steps";
+  conn.send(make_frame(MsgType::kQuerySeries, 1, req));
+  const std::optional<Frame> resp = conn.receive();  // no pump needed
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->type, MsgType::kQuerySeriesOk);
+  const SeriesResponse body = decode_body<SeriesResponse>(*resp);
+  // Samples land at the pre-increment tick: newest step is tick - 1.
+  EXPECT_EQ(body.last_step + 1, fleet->sample_tick());
+  ASSERT_EQ(body.series.size(), 1u);
+  ASSERT_EQ(body.series[0].steps.size(), 6u);
+  EXPECT_EQ(body.series[0].values.back(), 6.0);
+
+  // Prefix matcher fans out to the per-shard series too.
+  SeriesRequest pre;
+  pre.name = "leaf_fleet_*";
+  pre.max_series = 32;
+  conn.send(make_frame(MsgType::kQuerySeries, 2, pre));
+  const SeriesResponse fan = decode_body<SeriesResponse>(*conn.receive());
+  EXPECT_GT(fan.series.size(), 1u);
+  for (std::size_t i = 1; i < fan.series.size(); ++i)
+    EXPECT_LE(std::make_pair(fan.series[i - 1].name,
+                             fan.series[i - 1].labels),
+              std::make_pair(fan.series[i].name, fan.series[i].labels));
+}
+
+TEST_F(NetFixture, QuerySeriesOverCapIsOversizedAndConnectionSurvives) {
+  auto fleet = ready_fleet(2);
+  Loopback loop(*fleet);
+  LoopbackConnection& conn = loop.connect();
+
+  SeriesRequest req;
+  req.name = "leaf_*";
+  req.max_series = 65;  // server ceiling is 64
+  conn.send(make_frame(MsgType::kQuerySeries, 1, req));
+  const std::optional<Frame> resp = conn.receive();
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->type, MsgType::kError);
+  EXPECT_EQ(decode_body<ErrorResponse>(*resp).code, ErrorCode::kOversized);
+
+  // Typed refusal, not a dropped connection.
+  EXPECT_TRUE(conn.alive());
+  req.max_series = 8;
+  conn.send(make_frame(MsgType::kQuerySeries, 2, req));
+  EXPECT_EQ(conn.receive()->type, MsgType::kQuerySeriesOk);
+}
+
+TEST_F(NetFixture, V1ClientGetsV1QuerySeriesResponse) {
+  auto fleet = ready_fleet(2);
+  Loopback loop(*fleet);
+  LoopbackConnection& conn = loop.connect();
+
+  SeriesRequest req;
+  req.name = "leaf_fleet_steps";
+  Frame f = make_frame(MsgType::kQuerySeries, 3, req);
+  f.version = kProtocolV1;
+  conn.send(f);
+  const std::optional<Frame> resp = conn.receive();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, MsgType::kQuerySeriesOk);
+  EXPECT_EQ(resp->version, kProtocolV1);  // echoed, never upgraded
+  EXPECT_EQ(resp->request_id, 3u);
+}
+
+TEST_F(NetFixture, FuzzLiteMutatedQuerySeriesFramesNeverKillTheFleet) {
+  const obs::LogLevel prev_level = obs::log_level();
+  obs::set_log_level(obs::LogLevel::kError);
+  auto fleet = ready_fleet(2);
+  Loopback loop(*fleet);
+  SeriesRequest req;
+  req.name = "leaf_*";
+  req.max_series = 8;
+  const std::vector<std::uint8_t> valid =
+      encode_frame(make_frame(MsgType::kQuerySeries, 321, req));
+
+  Rng rng(0xF0221);
+  int dropped = 0, answered = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> bytes = valid;
+    switch (rng.index(3)) {
+      case 0:  // flip one bit anywhere
+        bytes[rng.index(bytes.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.index(8));
+        break;
+      case 1:  // truncate (peer dies mid-frame)
+        bytes.resize(rng.index(bytes.size()));
+        break;
+      default:  // scribble on the correlation id; still well-formed
+        bytes[9 + rng.index(8)] =
+            static_cast<std::uint8_t>(rng.index(256));
+        break;
+    }
+    LoopbackConnection& conn = loop.connect();
+    try {
+      conn.send_bytes(bytes);
+    } catch (const std::exception&) {
+    }
+    loop.pump();
+    if (!conn.alive()) {
+      ++dropped;
+    } else {
+      while (conn.receive().has_value()) ++answered;
+    }
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(answered, 0);
+
+  LoopbackConnection& fresh = loop.connect();
+  fresh.send(make_frame(MsgType::kQuerySeries, 1, req));
+  ASSERT_TRUE(fresh.receive().has_value());
+  EXPECT_TRUE(fleet->step());
+  obs::set_log_level(prev_level);
+}
+
 // --- real sockets ----------------------------------------------------------
 
 TEST_F(NetFixture, TcpRoundTripAndMidFrameDisconnectSmoke) {

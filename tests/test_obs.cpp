@@ -446,6 +446,100 @@ TEST(ObsEvents, WriteJsonlMidLineFaultThrowsAndCleansUpTheTemporary) {
   std::filesystem::remove_all(dir);
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ObsEvents, WriteJsonlRotatedSplitsOnLineBoundariesNewestLast) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  const std::string dir = ::testing::TempDir() + "leaf_obs_rotate";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/events.jsonl";
+  EventLog log;
+  for (int i = 0; i < 40; ++i) {
+    Event e = sample_event();
+    e.day = i;  // distinguishable lines, oldest day first
+    log.emit(e);
+  }
+  const std::string full = log.to_jsonl(false);
+  const std::uint64_t line_bytes = full.size() / 40;
+
+  // Cap at ~10 lines per chunk: 3 chunks survive, the oldest ~10 drop.
+  const std::uint64_t cap = line_bytes * 10 + line_bytes / 2;
+  EventLog::write_jsonl_rotated(path, log.events(), /*with_timing=*/false,
+                                cap);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  ASSERT_TRUE(std::filesystem::exists(path + ".1"));
+  ASSERT_TRUE(std::filesystem::exists(path + ".2"));
+  const std::string tail = slurp(path);
+  const std::string mid = slurp(path + ".1");
+  const std::string old = slurp(path + ".2");
+  // Whole lines only, each chunk within the cap...
+  for (const std::string& chunk : {tail, mid, old}) {
+    EXPECT_LE(chunk.size(), cap);
+    EXPECT_EQ(chunk.back(), '\n');
+  }
+  // ...chronological concatenation (.2 then .1 then path) is a suffix of
+  // the full rendering, and the newest line is in `path`.
+  const std::string joined = old + mid + tail;
+  ASSERT_LE(joined.size(), full.size());
+  EXPECT_EQ(joined, full.substr(full.size() - joined.size()));
+  EXPECT_NE(tail.find("\"day\": 39"), std::string::npos);
+  EXPECT_LT(joined.size(), full.size());  // oldest lines were dropped
+
+  // A later, smaller write must remove the now-stale rotated chunks.
+  EventLog::write_jsonl_rotated(path, {sample_event()},
+                                /*with_timing=*/false, 0);
+  EXPECT_FALSE(std::filesystem::exists(path + ".1"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".2"));
+  EXPECT_EQ(slurp(path), EventLog::to_jsonl({sample_event()}, false));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsEvents, WriteJsonlRotatedOversizedLineStillKept) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  const std::string dir = ::testing::TempDir() + "leaf_obs_rotate_big";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/events.jsonl";
+  Event big = sample_event();
+  big.detail = std::string(512, 'x');  // one line far beyond the cap
+  EventLog::write_jsonl_rotated(path, {big}, /*with_timing=*/false, 64);
+  // Capping must never silently drop the newest tail.
+  EXPECT_NE(slurp(path).find(big.detail), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsEvents, WriteJsonlRotatedFaultLeavesNoTmpLitter) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
+  const std::string dir = ::testing::TempDir() + "leaf_obs_rotate_fault";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/events.jsonl";
+  std::vector<Event> events;
+  for (int i = 0; i < 20; ++i) events.push_back(sample_event());
+  const std::string full = EventLog::to_jsonl(events, false);
+  {
+    io::ScopedWriteFault fault(/*after_bytes=*/10);
+    EXPECT_THROW(EventLog::write_jsonl_rotated(path, events, false,
+                                               full.size() / 3),
+                 io::SnapshotError);
+  }
+  // The faulted chunk's temporary was cleaned up, and no half-written
+  // chunk was renamed into place under any of the rotated names.
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
+        << "tmp litter: " << entry.path();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // With the fault gone the same rotation succeeds.
+  EXPECT_GT(EventLog::write_jsonl_rotated(path, events, false,
+                                          full.size() / 3),
+            0u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ObsEvents, EmitIsNoOpWhenRuntimeDisabled) {
   if (!kCompiledIn) GTEST_SKIP() << "built with -DLEAF_OBS=OFF";
   EventLog log;

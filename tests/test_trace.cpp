@@ -529,6 +529,33 @@ TEST(SloWatchdog, StateGaugeTracksTransitions) {
   EXPECT_EQ(reg.gauge("leaf_slo_state").value(), 0.0);
 }
 
+TEST(SloWatchdog, TelemetryDriftSignalEscalatesOnWindowMax) {
+  obs::SloWatchdog dog(
+      obs::SloSpec::parse("window=4,telemetry-drift=2,recover=1"));
+  EXPECT_NE(dog.spec().to_string().find("telemetry-drift=2"),
+            std::string::npos);
+
+  obs::SloSample s = quiet_sample();
+  s.telemetry_drift = 1;  // half the threshold: warning (warn=0.5 default)
+  EXPECT_EQ(dog.observe(s), obs::SloWatchdog::State::kWarning);
+  s.telemetry_drift = 2;  // two meta-drift rules fired: critical
+  EXPECT_EQ(dog.observe(s), obs::SloWatchdog::State::kCritical);
+  if (obs::kCompiledIn) {  // event emission compiles out with the registry
+    EXPECT_NE(dog.events().events().back().detail.find(
+                  "signal=telemetry-drift"),
+              std::string::npos);
+  }
+  EXPECT_DOUBLE_EQ(dog.burn().telemetry_drift, 2.0);
+
+  // The signal is the window *max*, so one calm tick does not clear it —
+  // the storm has to scroll out of the window first.
+  s.telemetry_drift = 0;
+  dog.observe(s);
+  EXPECT_EQ(dog.state(), obs::SloWatchdog::State::kCritical);
+  for (int i = 0; i < 4; ++i) dog.observe(s);
+  EXPECT_EQ(dog.state(), obs::SloWatchdog::State::kOk);
+}
+
 TEST(SloWatchdog, DisabledSpecNeverAlarms) {
   obs::SloWatchdog dog(obs::SloSpec{});
   obs::SloSample s = quiet_sample();

@@ -12,6 +12,12 @@ Sections below the noise floor (default 1 ms of baseline wall-clock)
 are reported but never fail the run: micro-sections jitter far more
 than 10% between otherwise identical runs.
 
+Latency-summary quantiles (p50/p99/p999 of every `summary`-type entry
+in `metrics.metrics`, e.g. leaf_rpc_latency_seconds) are also diffed.
+Tail quantiles on shared runners are pure jitter territory, so this
+section is strictly advisory: deltas are printed, marked when they
+exceed the threshold, and never affect the exit code.
+
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json \
         [--threshold 0.10] [--min-seconds 0.001]
@@ -39,6 +45,50 @@ def load_spans(path):
             continue
         out[site] = float(span.get("total_seconds", 0.0))
     return out
+
+
+QUANTILES = ("0.5", "0.99", "0.999")
+
+
+def load_quantiles(path):
+    """Return {(name, labels, q): seconds} for every summary entry."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("metrics", {}).get("metrics", []):
+        if entry.get("type") != "summary":
+            continue
+        if not entry.get("count"):
+            continue  # never observed: quantiles are all zero
+        name = entry.get("name", "")
+        labels = entry.get("labels", "")
+        for q, v in entry.get("quantiles", {}).items():
+            if q in QUANTILES:
+                out[(name, labels, q)] = float(v)
+    return out
+
+
+def diff_quantiles(baseline_path, candidate_path, threshold):
+    """Advisory p50/p99/p999 comparison; never affects the exit code."""
+    base = load_quantiles(baseline_path)
+    cand = load_quantiles(candidate_path)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        return
+    print(f"\nlatency quantiles (advisory)")
+    print(f"{'series':<44} {'q':>5} {'baseline':>12} {'candidate':>12} "
+          f"{'delta':>9}")
+    for key in shared:
+        name, labels, q = key
+        b, c = base[key], cand[key]
+        series = f"{name}{{{labels}}}" if labels else name
+        if b <= 0.0:
+            delta = "n/a"
+        else:
+            frac = (c - b) / b
+            flag = " !" if abs(frac) > threshold else ""
+            delta = f"{frac:+8.1%}{flag}"
+        print(f"{series:<44} {q:>5} {b:>12.3e} {c:>12.3e} {delta:>9}")
 
 
 def main():
@@ -94,6 +144,11 @@ def main():
         print(f"\nonly in baseline:  {', '.join(only_base)}")
     if only_cand:
         print(f"only in candidate: {', '.join(only_cand)}")
+
+    try:
+        diff_quantiles(args.baseline, args.candidate, args.threshold)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: quantile diff skipped: {e}", file=sys.stderr)
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} section(s) regressed more than "
